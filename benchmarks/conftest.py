@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports (run ``pytest benchmarks/
+--benchmark-only -s`` to see them), and records the wall-clock cost via
+pytest-benchmark. Heavy experiments run a single round.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artefact in a recognisable block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{text}\n")

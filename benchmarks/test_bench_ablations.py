@@ -1,0 +1,141 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation toggles one mechanism and reports its effect, quantifying
+the paper's qualitative arguments:
+
+* MTC bypass on/off (Section 5.2's fourth MTC property);
+* write-validate vs write-allocate in the MTC (Table 10, experiment V);
+* tagged prefetch on/off (experiments D vs E);
+* MSHR depth (blocking vs lockup-free, experiments A vs C);
+* in-order vs out-of-order issue (experiments C vs D).
+"""
+
+from repro.cpu import experiment
+from repro.cpu.machine import decompose_experiment
+from repro.mem.cache import AllocatePolicy
+from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.workloads import get_workload
+
+from conftest import emit, run_once
+
+TRAFFIC_REFS = 150_000
+TIMING_REFS = 10_000
+
+
+def test_bench_ablation_mtc_bypass(benchmark):
+    trace = get_workload("Compress").generate(seed=0, max_refs=TRAFFIC_REFS)
+
+    def measure():
+        with_bypass = MinimalTrafficCache(
+            MTCConfig(size_bytes=16 * 1024, bypass=True)
+        ).simulate(trace)
+        without = MinimalTrafficCache(
+            MTCConfig(size_bytes=16 * 1024, bypass=False)
+        ).simulate(trace)
+        return with_bypass.total_traffic_bytes, without.total_traffic_bytes
+
+    with_bypass, without = run_once(benchmark, measure)
+    emit(
+        "Ablation: MTC bypass",
+        f"with bypass:    {with_bypass / 1024:.0f} KB\n"
+        f"without bypass: {without / 1024:.0f} KB\n"
+        f"bypass saves {(1 - with_bypass / without):.1%} of minimal traffic",
+    )
+    assert with_bypass <= without
+
+
+def test_bench_ablation_write_validate(benchmark):
+    trace = get_workload("Eqntott").generate(seed=0, max_refs=TRAFFIC_REFS)
+
+    def measure():
+        wv = MinimalTrafficCache(
+            MTCConfig(size_bytes=16 * 1024, allocate=AllocatePolicy.WRITE_VALIDATE)
+        ).simulate(trace)
+        wa = MinimalTrafficCache(
+            MTCConfig(size_bytes=16 * 1024, allocate=AllocatePolicy.WRITE_ALLOCATE)
+        ).simulate(trace)
+        return wv.total_traffic_bytes, wa.total_traffic_bytes
+
+    wv, wa = run_once(benchmark, measure)
+    emit(
+        "Ablation: write-validate vs write-allocate (Eqntott MTC)",
+        f"write-validate: {wv / 1024:.0f} KB\n"
+        f"write-allocate: {wa / 1024:.0f} KB ({wa / wv:.2f}x more)",
+    )
+    assert wv <= wa
+
+
+def test_bench_ablation_prefetch(benchmark):
+    workload = get_workload("Swm")
+
+    def measure():
+        d = decompose_experiment(workload, experiment("D"), max_refs=TIMING_REFS)
+        e = decompose_experiment(workload, experiment("E"), max_refs=TIMING_REFS)
+        return d, e
+
+    d, e = run_once(benchmark, measure)
+    emit(
+        "Ablation: tagged prefetch (experiment D vs E, Swm)",
+        f"D (no prefetch): f_L={d.decomposition.f_l:.2f} "
+        f"f_B={d.decomposition.f_b:.2f} "
+        f"L1/L2 traffic={d.full_memory_stats.l1_l2_traffic_bytes / 1024:.0f} KB\n"
+        f"E (prefetch):    f_L={e.decomposition.f_l:.2f} "
+        f"f_B={e.decomposition.f_b:.2f} "
+        f"L1/L2 traffic={e.full_memory_stats.l1_l2_traffic_bytes / 1024:.0f} KB",
+    )
+    # Prefetch trades latency stalls for traffic (and bandwidth stalls).
+    assert (
+        e.full_memory_stats.l1_l2_traffic_bytes
+        >= d.full_memory_stats.l1_l2_traffic_bytes
+    )
+
+
+def test_bench_ablation_mshr_depth(benchmark):
+    workload = get_workload("Su2cor")
+
+    def measure():
+        blocking = decompose_experiment(
+            workload, experiment("A"), max_refs=TIMING_REFS
+        )
+        lockup_free = decompose_experiment(
+            workload, experiment("C"), max_refs=TIMING_REFS
+        )
+        return blocking, lockup_free
+
+    blocking, lockup_free = run_once(benchmark, measure)
+    emit(
+        "Ablation: blocking vs lockup-free caches (A vs C, Su2cor)",
+        f"A (1 MSHR):  T={blocking.decomposition.cycles_full:,} "
+        f"f_L={blocking.decomposition.f_l:.2f} "
+        f"f_B={blocking.decomposition.f_b:.2f}\n"
+        f"C (8 MSHRs): T={lockup_free.decomposition.cycles_full:,} "
+        f"f_L={lockup_free.decomposition.f_l:.2f} "
+        f"f_B={lockup_free.decomposition.f_b:.2f}",
+    )
+    assert (
+        lockup_free.decomposition.cycles_full
+        <= blocking.decomposition.cycles_full * 1.05
+    )
+
+
+def test_bench_ablation_out_of_order(benchmark):
+    workload = get_workload("Tomcatv")
+
+    def measure():
+        in_order = decompose_experiment(
+            workload, experiment("C"), max_refs=TIMING_REFS
+        )
+        out_of_order = decompose_experiment(
+            workload, experiment("D"), max_refs=TIMING_REFS
+        )
+        return in_order, out_of_order
+
+    in_order, out_of_order = run_once(benchmark, measure)
+    emit(
+        "Ablation: in-order vs out-of-order issue (C vs D, Tomcatv)",
+        f"C (in-order): T={in_order.decomposition.cycles_full:,} "
+        f"IPC={in_order.full.ipc:.2f}\n"
+        f"D (RUU):      T={out_of_order.decomposition.cycles_full:,} "
+        f"IPC={out_of_order.full.ipc:.2f}",
+    )
+    assert out_of_order.full.ipc > in_order.full.ipc

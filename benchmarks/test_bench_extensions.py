@@ -1,0 +1,276 @@
+"""Benches for the Section 5.3/6 extension mechanisms.
+
+Each prints the quantified version of a qualitative paper claim:
+Hill-Smith subblock trade-offs, Tyson-style bypassing, the Horwitz
+write-aware gap, prefetcher costs, address compression, and shared-cache
+interference.
+"""
+
+from repro.mem.bypass import bypass_benefit
+from repro.mem.compression import evaluate_address_compression
+from repro.mem.interference import chip_multiprocessor_demand, multithreaded_traffic
+from repro.mem.prefetch import (
+    StreamBufferPrefetcher,
+    StridePrefetcher,
+    TaggedPrefetcher,
+    evaluate_prefetcher,
+)
+from repro.mem.sector import hill_smith_tradeoff
+from repro.mem.writeaware import write_aware_gap
+from repro.workloads import get_workload
+
+from conftest import emit, run_once
+
+MAX_REFS = 100_000
+
+
+def test_bench_hill_smith_tradeoff(benchmark):
+    trace = get_workload("Compress").generate(seed=0, max_refs=MAX_REFS)
+    points = run_once(benchmark, hill_smith_tradeoff, trace)
+    lines = [
+        f"  subblock {p.subblock_bytes:3d}B: miss={p.miss_ratio:.3f} "
+        f"R={p.traffic_ratio:.2f}"
+        for p in points
+    ]
+    emit("Hill-Smith subblock trade-off (Compress, 16KB/64B sectors)",
+         "\n".join(lines))
+    assert points[0].traffic_ratio < points[-1].traffic_ratio
+    assert points[0].miss_ratio > points[-1].miss_ratio
+
+
+def test_bench_selective_bypass(benchmark):
+    def measure():
+        rows = []
+        for name in ("Compress", "Eqntott", "Swm"):
+            trace = get_workload(name).generate(seed=0, max_refs=MAX_REFS)
+            rows.append((name, *bypass_benefit(trace, 4096)))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    emit(
+        "Tyson-style selective bypassing (4KB simulated cache)",
+        "\n".join(
+            f"  {name:9s} {base / 1024:7.0f}KB -> {improved / 1024:7.0f}KB "
+            f"({saving:+.1%})"
+            for name, base, improved, saving in rows
+        ),
+    )
+    irregular_savings = [r[3] for r in rows if r[0] != "Swm"]
+    assert all(s > 0.02 for s in irregular_savings)
+
+
+def test_bench_write_aware_gap(benchmark):
+    def measure():
+        rows = []
+        for name in ("Compress", "Eqntott", "Swm", "Tomcatv"):
+            trace = get_workload(name).generate(seed=0, max_refs=MAX_REFS)
+            rows.append((name, *write_aware_gap(trace, 16 * 1024)))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    emit(
+        "Write-aware vs plain MIN (the paper's skipped Horwitz policy)",
+        "\n".join(
+            f"  {name:9s} plain={plain / 1024:7.0f}KB "
+            f"aware={aware / 1024:7.0f}KB gap={gap:+.2%}"
+            for name, plain, aware, gap in rows
+        ),
+    )
+    # The paper's claim, verified: the disparity is small.
+    assert all(abs(gap) < 0.05 for _, _, _, gap in rows)
+
+
+def test_bench_prefetchers(benchmark):
+    trace = get_workload("Swm").generate(seed=0, max_refs=MAX_REFS)
+
+    def measure():
+        return [
+            evaluate_prefetcher(trace, prefetcher)
+            for prefetcher in (
+                TaggedPrefetcher(),
+                StridePrefetcher(),
+                StreamBufferPrefetcher(),
+            )
+        ]
+
+    reports = run_once(benchmark, measure)
+    emit(
+        "Prefetcher comparison (Swm)",
+        "\n".join(
+            f"  {r.scheme:15s} coverage={r.coverage:.2f} "
+            f"accuracy={r.accuracy:.2f} traffic={r.traffic_overhead:+.1%}"
+            for r in reports
+        ),
+    )
+    # Every scheme moves extra bytes: prefetching costs bandwidth.
+    assert all(r.traffic_overhead >= 0.0 for r in reports)
+
+
+def test_bench_address_compression(benchmark):
+    def measure():
+        rows = []
+        for name in ("Swm", "Compress", "Li"):
+            trace = get_workload(name).generate(seed=0, max_refs=MAX_REFS)
+            rows.append((name, evaluate_address_compression(trace)))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    emit(
+        "Address-bus compression (dynamic base register caching)",
+        "\n".join(
+            f"  {name:9s} hit={report.hit_rate:.2f} "
+            f"effective width x{report.effective_width_multiplier:.2f}"
+            for name, report in rows
+        ),
+    )
+    assert all(report.compression_ratio > 1.0 for _, report in rows)
+
+
+def test_bench_interference(benchmark):
+    traces = [
+        get_workload(name).generate(seed=0, max_refs=60_000)
+        for name in ("Compress", "Swm", "Espresso")
+    ]
+    report = run_once(benchmark, multithreaded_traffic, traces)
+    cmp_points = chip_multiprocessor_demand(
+        report.shared_traffic_bytes, 400_000, 300, 800
+    )
+    emit(
+        "Shared-cache interference and chip-multiprocessor demand",
+        f"threads: {', '.join(report.thread_names)}\n"
+        f"traffic expansion: {report.traffic_expansion:.2f}x  "
+        f"miss expansion: {report.miss_expansion:.2f}x\n"
+        + "\n".join(
+            f"  {p.cores:2d} cores: demand {p.demand_mb_per_s:8.0f} MB/s "
+            f"({'pin-bound' if p.bandwidth_bound else 'ok'})"
+            for p in cmp_points
+        ),
+    )
+    assert report.traffic_expansion >= 1.0
+
+
+def test_bench_flexible_cache(benchmark):
+    """The paper's own §5.3 proposal: software-controlled transfer sizes."""
+    from repro.mem.flexible import flexible_gain
+
+    def measure():
+        rows = []
+        for name in ("Compress", "Eqntott", "Espresso", "Su2cor", "Swm"):
+            trace = get_workload(name).generate(seed=0, max_refs=MAX_REFS)
+            rows.append((name, flexible_gain(trace)))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    emit(
+        "Flexible cache vs best fixed block size (request overhead included)",
+        "\n".join(
+            f"  {name:9s} best fixed={g.best_fixed_block:3d}B "
+            f"{g.best_fixed_traffic / 1024:7.0f}KB  "
+            f"flexible={g.flexible_traffic / 1024:7.0f}KB  "
+            f"saving={g.saving:+.1%}"
+            for name, g in rows
+        ),
+    )
+    gains = [g.saving for name, g in rows if name != "Swm"]
+    assert sum(1 for s in gains if s > 0) >= 3
+
+
+def test_bench_victim_cache(benchmark):
+    """Jouppi's victim cache: conflict misses absorbed before the pins."""
+    from repro.mem.victim import victim_benefit
+
+    def measure():
+        rows = []
+        for name in ("Su2cor", "Espresso", "Swm", "Compress"):
+            trace = get_workload(name).generate(seed=0, max_refs=MAX_REFS)
+            rows.append((name, *victim_benefit(trace, 4096, victim_entries=8)))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    emit(
+        "Victim cache (4KB direct-mapped + 8 victim entries)",
+        "\n".join(
+            f"  {name:9s} {base / 1024:8.0f}KB -> {improved / 1024:8.0f}KB "
+            f"({saving:+.1%})"
+            for name, base, improved, saving in rows
+        ),
+    )
+    by_name = {name: saving for name, _, _, saving in rows}
+    assert by_name["Su2cor"] > by_name["Swm"]
+
+
+def test_bench_epin_two_level(benchmark):
+    """Equations 5/7 composed over the paper's own two-level hierarchy."""
+    from repro.experiments import epin
+
+    result = run_once(benchmark, epin.run, max_refs=MAX_REFS)
+    emit("Two-level effective pin bandwidth", epin.render(result))
+    for row in result.rows:
+        assert row.oe_pin_mb_s >= row.e_pin_mb_s * 0.999
+
+
+def test_bench_chip_multiprocessor(benchmark):
+    """§2.2 quantified: cores sharing one pin interface stop scaling."""
+    from repro.cpu.multicore import cmp_scaling
+
+    results = run_once(
+        benchmark,
+        cmp_scaling,
+        get_workload("Swm"),
+        core_counts=(1, 2, 4, 8),
+        max_refs=5000,
+    )
+    emit(
+        "Single-chip multiprocessor scaling (Swm, experiment F memory)",
+        "\n".join(
+            f"  {r.core_count:2d} cores: per-core slowdown "
+            f"{r.per_core_slowdown:5.2f}x, throughput {r.throughput_speedup:4.2f}x"
+            for r in results
+        ),
+    )
+    assert results[-1].throughput_speedup < results[-1].core_count * 0.5
+
+
+def test_bench_miss_ratio_curve(benchmark):
+    """Mattson stack algorithm: one pass predicts every LRU cache size."""
+    from repro.trace.mrc import miss_ratio_curve
+
+    trace = get_workload("Eqntott").generate(seed=0, max_refs=MAX_REFS)
+    curve = benchmark(miss_ratio_curve, trace)
+    points = curve.curve([2 ** k for k in range(3, 14)])
+    emit(
+        "Miss-ratio curve (Eqntott, fully-associative LRU, one pass)",
+        "\n".join(
+            f"  {blocks:6d} blocks ({blocks * 32 // 1024:4d}KB): "
+            f"miss ratio {ratio:.3f}"
+            for blocks, ratio in points
+        )
+        + f"\n  compulsory floor: {curve.compulsory_miss_ratio:.4f}",
+    )
+    ratios = [r for _, r in points]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_bench_smart_memory_offload(benchmark):
+    """§6's smart memory: stream computations run memory-side."""
+    from repro.mem.smart import offload_candidates, offload_saving
+
+    trace = get_workload("Swm").generate(seed=0, max_refs=MAX_REFS)
+
+    def measure():
+        candidates = offload_candidates(trace, min_traffic_share=0.02)
+        regions = [(c.start, c.end) for c in candidates]
+        return candidates, offload_saving(trace, regions) if regions else None
+
+    candidates, report = run_once(benchmark, measure)
+    if report is None:
+        emit("Smart-memory offload (Swm)", "no candidates at this scale")
+        return
+    emit(
+        "Smart-memory offload (Swm)",
+        f"candidate regions: {len(candidates)}\n"
+        f"pin traffic: {report.total_traffic_bytes / 1024:.0f}KB -> "
+        f"{report.smart_traffic_bytes / 1024:.0f}KB "
+        f"({report.saving:+.1%} with computation in memory)",
+    )
+    assert report.saving > 0.0

@@ -1,0 +1,12 @@
+"""Regenerates Figure 1 (pin/performance/bandwidth trends) + §4.3."""
+
+from repro.experiments import figure1
+
+from conftest import emit, run_once
+
+
+def test_bench_figure1(benchmark):
+    result = run_once(benchmark, figure1.run)
+    emit("Figure 1: physical microprocessor trends", figure1.render(result))
+    assert 12 < result.pin_fit.percent_per_year < 20
+    assert 2000 <= result.extrapolation.pins_2006 <= 3000

@@ -1,0 +1,11 @@
+"""Regenerates Figure 2 (processing vs bandwidth balance schedules)."""
+
+from repro.experiments import figure2
+
+from conftest import emit, run_once
+
+
+def test_bench_figure2(benchmark):
+    result = run_once(benchmark, figure2.run)
+    emit("Figure 2: processing vs bandwidth balance", figure2.render(result))
+    assert result.balancing_growth["TMM"] > 1.9

@@ -1,0 +1,30 @@
+"""Regenerates Figure 3 (execution-time decomposition, A-F, both suites).
+
+The timing cores are the slowest simulators in the library, so the
+benchmark uses a bounded reference count per benchmark; the bar *shapes*
+(the growth of the bandwidth segment with latency tolerance) stabilize
+well below this budget.
+"""
+
+from repro.experiments import figure3
+
+from conftest import emit, run_once
+
+MAX_REFS = 12_000
+
+
+def test_bench_figure3_spec92(benchmark):
+    result = run_once(benchmark, figure3.run, "SPEC92", max_refs=MAX_REFS)
+    emit("Figure 3 (SPEC92 panel)", figure3.render(result))
+    grew = sum(
+        1
+        for name in result.benchmarks()
+        if result.bar(name, "F").f_b > result.bar(name, "A").f_b
+    )
+    assert grew >= len(result.benchmarks()) - 1
+
+
+def test_bench_figure3_spec95(benchmark):
+    result = run_once(benchmark, figure3.run, "SPEC95", max_refs=MAX_REFS)
+    emit("Figure 3 (SPEC95 panel)", figure3.render(result))
+    assert len(result.benchmarks()) == 7

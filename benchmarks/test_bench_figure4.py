@@ -1,0 +1,17 @@
+"""Regenerates Figure 4 (traffic vs cache size, caches against the MTC)."""
+
+from repro.experiments import figure4
+
+from conftest import emit, run_once
+
+MAX_REFS = 120_000
+
+
+def test_bench_figure4(benchmark):
+    result = run_once(benchmark, figure4.run, max_refs=MAX_REFS)
+    emit("Figure 4: total traffic by cache and MTC size", figure4.render(result))
+    for panel in result.panels.values():
+        for index in range(len(panel.sizes)):
+            for series in panel.cache_series.values():
+                if series[index] >= 0:
+                    assert panel.mtc_write_validate[index] <= series[index]

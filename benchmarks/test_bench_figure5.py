@@ -1,0 +1,15 @@
+"""Regenerates Figure 5's prediction: the unified processor/DRAM system."""
+
+from repro.experiments import figure5
+
+from conftest import emit, run_once
+
+MAX_REFS = 10_000
+
+
+def test_bench_figure5(benchmark):
+    result = run_once(benchmark, figure5.run, max_refs=MAX_REFS)
+    emit("Figure 5: unified processor/DRAM vs conventional", figure5.render(result))
+    for row in result.rows:
+        assert row.speedup >= 1.0
+        assert row.unified.f_b <= row.conventional.f_b

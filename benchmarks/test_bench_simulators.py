@@ -1,0 +1,44 @@
+"""Micro-benchmarks: simulator throughput (references per second).
+
+These are classic pytest-benchmark timings (multiple rounds) of the three
+engines a user pays for: the vectorized direct-mapped cache path, the
+general set-associative path, and the two-pass MTC.
+"""
+
+import numpy as np
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.trace.model import MemTrace
+
+REFS = 100_000
+
+
+def _trace() -> MemTrace:
+    rng = np.random.default_rng(0)
+    return MemTrace(
+        rng.integers(0, 1 << 16, size=REFS) * 4,
+        rng.random(REFS) < 0.3,
+    )
+
+
+def test_bench_cache_fast_path(benchmark):
+    trace = _trace()
+    config = CacheConfig(size_bytes=16 * 1024, block_bytes=32)
+    stats = benchmark(lambda: Cache(config).simulate(trace))
+    assert stats.accesses == REFS
+
+
+def test_bench_cache_general_path(benchmark):
+    trace = _trace()
+    config = CacheConfig(size_bytes=16 * 1024, block_bytes=32, associativity=4)
+    stats = benchmark(lambda: Cache(config).simulate(trace))
+    assert stats.accesses == REFS
+
+
+def test_bench_mtc(benchmark):
+    trace = _trace()
+    stats = benchmark(
+        lambda: MinimalTrafficCache(MTCConfig(size_bytes=16 * 1024)).simulate(trace)
+    )
+    assert stats.accesses == REFS

@@ -1,0 +1,11 @@
+"""Regenerates Table 2 (application growth rates, analytic + measured)."""
+
+from repro.experiments import table2
+
+from conftest import emit, run_once
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, table2.run)
+    emit("Table 2: application growth rates", table2.render(result))
+    assert len(result.rows) == 4

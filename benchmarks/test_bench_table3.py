@@ -1,0 +1,11 @@
+"""Regenerates Table 3 (benchmarks, inputs, paper vs repro scale)."""
+
+from repro.experiments import table3
+
+from conftest import emit, run_once
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, table3.run)
+    emit("Table 3: benchmark traces", table3.render(result))
+    assert len(result.rows) == 14

@@ -1,0 +1,16 @@
+"""Regenerates Table 6 (f_L vs f_B, experiment A vs F)."""
+
+from repro.experiments import table6
+
+from conftest import emit, run_once
+
+MAX_REFS = 12_000
+
+
+def test_bench_table6(benchmark):
+    result = run_once(benchmark, table6.run, max_refs=MAX_REFS)
+    emit("Table 6: latency vs bandwidth stalls", table6.render(result))
+    # The paper's reversal: bandwidth overtakes latency on machine F for
+    # most non-cache-bound benchmarks.
+    reversed_count = sum(1 for row in result.rows if row.f_b_f > row.f_l_f)
+    assert reversed_count >= len(result.rows) // 2

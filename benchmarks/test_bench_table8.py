@@ -1,0 +1,16 @@
+"""Regenerates Table 8 (traffic inefficiencies vs the MTC)."""
+
+from repro.experiments import table8
+
+from conftest import emit, run_once
+
+#: MTC simulation is the most expensive part of the harness.
+MAX_REFS = 200_000
+
+
+def test_bench_table8(benchmark):
+    result = run_once(benchmark, table8.run, max_refs=MAX_REFS)
+    emit("Table 8: traffic inefficiencies", table8.render(result))
+    for name in table8.PAPER_TABLE8:
+        for _, value in result.sweep.defined_cells(name):
+            assert value >= 0.99

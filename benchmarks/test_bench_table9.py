@@ -1,0 +1,20 @@
+"""Regenerates Tables 9/10 (per-factor inefficiency decomposition)."""
+
+from repro.experiments import table9
+
+from conftest import emit, run_once
+
+MAX_REFS = 150_000
+
+
+def test_bench_table9(benchmark):
+    result = run_once(benchmark, table9.run, max_refs=MAX_REFS)
+    emit("Table 9: inefficiency gap per factor", table9.render(result))
+    emit(
+        "Table 10: experiment pairs",
+        "\n".join(
+            f"  {factor:<16s} {exp1}  vs  {exp2}"
+            for factor, (exp1, exp2) in table9.TABLE10.items()
+        ),
+    )
+    assert set(result.factors) == set(table9.CACHE_SIZE_FOR)

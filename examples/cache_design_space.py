@@ -1,0 +1,92 @@
+"""Per-application cache tuning: the paper's "flexible caches" conclusion.
+
+The paper closes Section 5 arguing that "machines of the future will
+likely have programmable mechanisms to support variable block sizes ...
+allowing software-controlled transfer sizes will permit each application
+to optimize its traffic based on its reference patterns".
+
+This example builds a custom application trace from the low-level stream
+primitives (a hash-table stage followed by a streaming stage — a little
+key-value store doing lookups and then compacting its log), sweeps block
+size and associativity at a fixed cache budget, and reports the traffic-
+minimizing configuration for each phase. Following the paper's own caveat
+("our results do not consider request traffic, which increases with
+smaller block sizes"), the sweep charges each bus transaction an address/
+request overhead: with it, the probe phase wants tiny blocks and the
+compaction phase wants large ones — no single fixed cache serves both.
+
+Run:  python examples/cache_design_space.py
+"""
+
+import numpy as np
+
+from repro import Cache, CacheConfig, MemTrace
+from repro.trace.synth import sweep, to_trace, zipf_probes
+from repro.util import format_table
+
+
+def build_phases() -> dict[str, MemTrace]:
+    rng = np.random.default_rng(7)
+    probes = zipf_probes(
+        rng, 0, table_words=64 * 1024, count=120_000,
+        alpha=0.9, write_fraction=0.25,
+    )
+    compaction = sweep(
+        4 * 1024 * 1024, length_words=30_000, passes=4, write_every=2,
+    )
+    return {
+        "lookup (hash probes)": to_trace(probes, name="lookup"),
+        "compaction (streaming)": to_trace(compaction, name="compaction"),
+    }
+
+
+#: Address/request bytes charged per bus transaction (the overhead the
+#: paper's Table 7 deliberately excludes, and flags as the small-block
+#: bias).
+REQUEST_OVERHEAD_BYTES = 8
+
+
+def best_config(trace: MemTrace, size_bytes: int) -> list[list[str]]:
+    rows = []
+    best = None
+    for block in (4, 8, 16, 32, 64, 128):
+        for assoc in (1, 2, 4):
+            config = CacheConfig(
+                size_bytes=size_bytes, block_bytes=block, associativity=assoc
+            )
+            stats = Cache(config).simulate(trace)
+            transactions = (
+                stats.fetch_bytes
+                + stats.writeback_bytes
+                + stats.flush_writeback_bytes
+            ) // block + stats.writethrough_bytes // 4
+            total = (
+                stats.total_traffic_bytes
+                + transactions * REQUEST_OVERHEAD_BYTES
+            )
+            ratio = total / stats.request_bytes
+            rows.append([f"{block}B", f"{assoc}-way", f"{ratio:.2f}"])
+            if best is None or ratio < best[0]:
+                best = (ratio, block, assoc)
+    assert best is not None
+    rows.append(["best:", f"{best[1]}B/{best[2]}-way", f"{best[0]:.2f}"])
+    return rows
+
+
+def main() -> None:
+    size = 16 * 1024
+    for phase, trace in build_phases().items():
+        print(f"\nphase: {phase} — {len(trace):,} refs, "
+              f"{trace.footprint_bytes / 1024:.0f} KB footprint, "
+              f"{size // 1024} KB cache")
+        rows = best_config(trace, size)
+        print(format_table(["block", "assoc", "traffic ratio (incl. requests)"], rows))
+    print(
+        "\nThe two phases prefer opposite block sizes: a fixed cache wastes"
+        "\nbandwidth on one of them, which is the paper's argument for"
+        "\nsoftware-controlled transfer sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""The paper's Section 6 futures, toured end to end.
+
+The paper closes with predictions: single-chip multiprocessors will be
+pin-bound before they are transistor-bound; compression can stretch the
+pins; and eventually "all of the system memory resides on the processor
+chip". This example runs all three through the library on one workload:
+
+1. scale cores against a fixed pin interface (§2.2) and watch throughput
+   saturate;
+2. apply address-bus compression (§6) and measure the effective widening;
+3. move the memory on die (Figure 5) and watch the bandwidth-stall
+   fraction collapse.
+
+Run:  python examples/future_systems.py
+"""
+
+from repro.cpu.multicore import cmp_scaling
+from repro.experiments import figure5
+from repro.mem.compression import evaluate_address_compression
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("Swm")
+    print(f"workload: {workload.name} — {workload.behaviour}\n")
+
+    # 1. Single-chip multiprocessor against one pin interface.
+    print("1. Cores sharing one pin interface (experiment F memory):")
+    for result in cmp_scaling(workload, core_counts=(1, 2, 4, 8), max_refs=5000):
+        print(
+            f"   {result.core_count:2d} cores: each core "
+            f"{result.per_core_slowdown:5.2f}x slower, total throughput "
+            f"{result.throughput_speedup:4.2f}x"
+        )
+    print("   -> the paper's §2.2: scaling stops at the pins, not the "
+          "transistor budget.\n")
+
+    # 2. Compression stretches the pins a little.
+    trace = workload.generate(seed=0, max_refs=60_000)
+    report = evaluate_address_compression(trace)
+    print("2. Address-bus compression (dynamic base register caching):")
+    print(f"   base-register hit rate {report.hit_rate:.1%}, effective "
+          f"address-path widening x{report.effective_width_multiplier:.2f}")
+    print("   -> a near-term stretch, not a fix.\n")
+
+    # 3. The long-term answer: memory on the die.
+    print("3. Unified processor/DRAM (the paper's Figure 5):")
+    result = figure5.run(benchmarks=(workload.name,), max_refs=8000)
+    row = result.rows[0]
+    print(f"   conventional: f_L={row.conventional.f_l:.2f} "
+          f"f_B={row.conventional.f_b:.2f}")
+    print(f"   unified:      f_L={row.unified.f_l:.2f} "
+          f"f_B={row.unified.f_b:.2f}  ({row.speedup:.2f}x faster)")
+    print("   -> off-chip bandwidth stalls collapse once the pins are "
+          "out of the load-use path;")
+    print("      what remains is raw DRAM latency — a different battle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: traffic ratios, traffic inefficiency, effective pin bandwidth.
+
+Runs one synthetic SPEC92 workload (Compress) through a direct-mapped
+cache and the minimal-traffic cache, then converts the measurements into
+the paper's metrics: R (Equation 4), G (Equation 6), E_pin (Equation 5)
+and the OE_pin upper bound (Equation 7).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cache,
+    CacheConfig,
+    MinimalTrafficCache,
+    MTCConfig,
+    effective_pin_bandwidth,
+    optimal_effective_pin_bandwidth,
+    traffic_inefficiency,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("Compress")
+    trace = workload.generate(seed=1, max_refs=200_000)
+    print(f"workload: {trace.name}, {len(trace):,} references, "
+          f"{trace.footprint_bytes / 1024:.0f} KB footprint")
+
+    # A 16 KB direct-mapped cache with 32-byte blocks (Table 7 setup).
+    cache = Cache(CacheConfig(size_bytes=16 * 1024, block_bytes=32))
+    stats = cache.simulate(trace)
+    print(f"cache {cache.config.describe()}:")
+    print(f"  miss rate      {stats.miss_rate:.3f}")
+    print(f"  total traffic  {stats.total_traffic_bytes / 1024:.0f} KB")
+    print(f"  traffic ratio  R = {stats.traffic_ratio:.2f}")
+
+    # The minimal-traffic cache of the same size (Section 5.2).
+    mtc = MinimalTrafficCache(MTCConfig(size_bytes=16 * 1024))
+    mtc_stats = mtc.simulate(trace)
+    g = traffic_inefficiency(
+        stats.total_traffic_bytes, mtc_stats.total_traffic_bytes
+    )
+    print(f"MTC traffic      {mtc_stats.total_traffic_bytes / 1024:.0f} KB")
+    print(f"traffic inefficiency G = {g:.1f}")
+
+    # Effective pin bandwidth: a 1996-class 800 MB/s package.
+    pin_bandwidth = 800.0  # MB/s
+    e_pin = effective_pin_bandwidth(pin_bandwidth, [stats.traffic_ratio])
+    oe_pin = optimal_effective_pin_bandwidth(
+        pin_bandwidth, [stats.traffic_ratio], [g]
+    )
+    print(f"effective pin bandwidth  E_pin  = {e_pin:7.0f} MB/s")
+    print(f"upper bound              OE_pin = {oe_pin:7.0f} MB/s "
+          f"({oe_pin / e_pin:.0f}x headroom from smarter on-chip memory)")
+
+
+if __name__ == "__main__":
+    main()

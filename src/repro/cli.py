@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available experiments and workloads.
+``experiment NAME``
+    Regenerate one of the paper's tables/figures and print it.
+``simulate WORKLOAD``
+    Run one workload through a cache (and optionally the MTC) and print
+    the traffic metrics.
+``decompose WORKLOAD``
+    Run the three-simulation execution-time decomposition on one of the
+    paper's machines A-F.
+``stats WORKLOAD``
+    Print trace statistics (footprint, locality measures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.util import format_size, parse_size
+
+#: Experiment name -> module path (all expose run()/render()).
+EXPERIMENT_MODULES = {
+    name: f"repro.experiments.{name}"
+    for name in (
+        "figure1",
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "table2",
+        "table3",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "epin",
+    )
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Memory Bandwidth Limitations of Future "
+            "Microprocessors' (ISCA 1996)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
+    experiment.add_argument(
+        "--max-refs",
+        type=int,
+        default=None,
+        help="bound the references per benchmark (speed/fidelity knob)",
+    )
+
+    simulate = sub.add_parser("simulate", help="run a workload through a cache")
+    simulate.add_argument("workload")
+    simulate.add_argument("--size", default="16KB", help="cache size (e.g. 64KB)")
+    simulate.add_argument("--block", type=int, default=32, help="block bytes")
+    simulate.add_argument("--assoc", type=int, default=1, help="ways")
+    simulate.add_argument(
+        "--mtc", action="store_true", help="also run the minimal-traffic cache"
+    )
+    simulate.add_argument("--max-refs", type=int, default=200_000)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    decompose = sub.add_parser(
+        "decompose", help="execution-time decomposition on a machine A-F"
+    )
+    decompose.add_argument("workload")
+    decompose.add_argument(
+        "--experiment", default="F", choices=list("ABCDEF"), dest="machine"
+    )
+    decompose.add_argument("--suite", default=None, choices=["SPEC92", "SPEC95"])
+    decompose.add_argument("--max-refs", type=int, default=20_000)
+    decompose.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="trace statistics for a workload")
+    stats.add_argument("workload")
+    stats.add_argument("--max-refs", type=int, default=200_000)
+    stats.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list(out) -> None:
+    from repro.workloads import all_workloads
+
+    print("experiments:", file=out)
+    for name in sorted(EXPERIMENT_MODULES):
+        module = importlib.import_module(EXPERIMENT_MODULES[name])
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<10s} {summary}", file=out)
+    print("\nworkloads:", file=out)
+    for workload in all_workloads():
+        print(
+            f"  {workload.name:<10s} {workload.suite}  {workload.behaviour}",
+            file=out,
+        )
+
+
+def _cmd_experiment(args, out) -> None:
+    module = importlib.import_module(EXPERIMENT_MODULES[args.name])
+    kwargs = {}
+    if args.max_refs is not None:
+        kwargs["max_refs"] = args.max_refs
+    try:
+        result = module.run(**kwargs)
+    except TypeError:
+        # Some experiments (figure1/figure2/table2) take no max_refs.
+        result = module.run()
+    print(module.render(result), file=out)
+
+
+def _cmd_simulate(args, out) -> None:
+    from repro.mem.cache import Cache, CacheConfig
+    from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+    from repro.workloads import get_workload
+
+    trace = get_workload(args.workload).generate(
+        seed=args.seed, max_refs=args.max_refs
+    )
+    size = parse_size(args.size)
+    config = CacheConfig(
+        size_bytes=size, block_bytes=args.block, associativity=args.assoc
+    )
+    stats = Cache(config).simulate(trace)
+    print(f"workload: {trace.name} ({len(trace):,} refs)", file=out)
+    print(f"cache:    {config.describe()}", file=out)
+    print(f"miss rate:      {stats.miss_rate:.4f}", file=out)
+    print(f"total traffic:  {stats.total_traffic_bytes:,} bytes", file=out)
+    print(f"traffic ratio:  {stats.traffic_ratio:.3f}", file=out)
+    if args.mtc:
+        mtc = MinimalTrafficCache(MTCConfig(size_bytes=size))
+        mtc_stats = mtc.simulate(trace)
+        g = stats.total_traffic_bytes / mtc_stats.total_traffic_bytes
+        print(f"MTC traffic:    {mtc_stats.total_traffic_bytes:,} bytes", file=out)
+        print(f"inefficiency G: {g:.2f}", file=out)
+
+
+def _cmd_decompose(args, out) -> None:
+    from repro.cpu.configs import experiment
+    from repro.cpu.machine import decompose_experiment
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    suite = args.suite or workload.suite
+    config = experiment(args.machine, suite)
+    result = decompose_experiment(
+        workload, config, seed=args.seed, max_refs=args.max_refs
+    )
+    d = result.decomposition
+    print(f"workload:   {workload.name} ({suite})", file=out)
+    print(f"experiment: {args.machine}", file=out)
+    print(f"cycles:     T_P={d.cycles_perfect:,} T_I={d.cycles_infinite:,} "
+          f"T={d.cycles_full:,}", file=out)
+    print(f"fractions:  f_P={d.f_p:.3f} f_L={d.f_l:.3f} f_B={d.f_b:.3f}", file=out)
+    print(f"IPC (full): {result.full.ipc:.2f}", file=out)
+
+
+def _cmd_stats(args, out) -> None:
+    from repro.trace.stats import compute_stats
+    from repro.workloads import get_workload
+
+    trace = get_workload(args.workload).generate(
+        seed=args.seed, max_refs=args.max_refs
+    )
+    stats = compute_stats(trace)
+    print(f"workload:            {trace.name}", file=out)
+    print(f"references:          {stats.references:,} "
+          f"({stats.write_fraction:.1%} writes)", file=out)
+    print(f"footprint:           {format_size(stats.footprint_bytes)} "
+          f"({stats.footprint_bytes:,} bytes)", file=out)
+    print(f"sequential fraction: {stats.sequential_fraction:.3f}", file=out)
+    print(f"reuse fraction:      {stats.reuse_fraction:.3f}", file=out)
+    print(f"median reuse dist.:  {stats.median_reuse_distance:g} words", file=out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            _cmd_list(out)
+        elif args.command == "experiment":
+            _cmd_experiment(args, out)
+        elif args.command == "simulate":
+            _cmd_simulate(args, out)
+        elif args.command == "decompose":
+            _cmd_decompose(args, out)
+        elif args.command == "stats":
+            _cmd_stats(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,126 @@
+"""Execution-time decomposition (Section 2, Equations 1-3).
+
+The paper splits a program's execution time ``T`` into processing time,
+latency-stall time, and bandwidth-stall time using three simulations:
+
+* ``T_P`` — perfect memory: every access completes in one cycle;
+* ``T_I`` — intrinsic-latency memory: real latencies, infinitely wide
+  paths between levels (no contention, no bandwidth limits);
+* ``T``   — the full memory system.
+
+Then ``f_P = T_P / T``, ``f_L = (T_I - T_P) / T``, ``f_B = (T - T_I) / T``.
+This module is pure arithmetic over those three cycle counts; the counts
+themselves come from :mod:`repro.cpu.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionDecomposition:
+    """The (T_P, T_I, T) triple and its derived fractions."""
+
+    cycles_perfect: int     #: T_P — perfect memory hierarchy
+    cycles_infinite: int    #: T_I — infinite bandwidth, real latency
+    cycles_full: int        #: T   — the full memory system
+    instructions: int = 0   #: retired instructions (for the CPI view)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.cycles_perfect, self.cycles_infinite, self.cycles_full) <= 0:
+            raise SimulationError("cycle counts must be positive")
+        if not (
+            self.cycles_perfect <= self.cycles_infinite <= self.cycles_full
+        ):
+            raise SimulationError(
+                "expected T_P <= T_I <= T, got "
+                f"{self.cycles_perfect} / {self.cycles_infinite} / "
+                f"{self.cycles_full} ({self.label or 'unlabelled'})"
+            )
+
+    # -- the paper's fractions (Equations 1-3) ------------------------------------
+
+    @property
+    def f_p(self) -> float:
+        """Fraction of time the processor computes (or lacks ILP)."""
+        return self.cycles_perfect / self.cycles_full
+
+    @property
+    def f_l(self) -> float:
+        """Fraction lost to raw, untolerated memory latency."""
+        return (self.cycles_infinite - self.cycles_perfect) / self.cycles_full
+
+    @property
+    def f_b(self) -> float:
+        """Fraction lost to insufficient bandwidth and contention."""
+        return (self.cycles_full - self.cycles_infinite) / self.cycles_full
+
+    # -- absolute views ---------------------------------------------------------------
+
+    @property
+    def latency_stall_cycles(self) -> int:
+        return self.cycles_infinite - self.cycles_perfect
+
+    @property
+    def bandwidth_stall_cycles(self) -> int:
+        return self.cycles_full - self.cycles_infinite
+
+    def normalized_to(self, baseline_processing_cycles: int) -> tuple[float, float, float]:
+        """Bar heights for Figure 3: (processing, latency, bandwidth)
+        segments normalized to a baseline experiment's ``T_P``."""
+        if baseline_processing_cycles <= 0:
+            raise SimulationError("baseline processing cycles must be positive")
+        scale = float(baseline_processing_cycles)
+        return (
+            self.cycles_perfect / scale,
+            self.latency_stall_cycles / scale,
+            self.bandwidth_stall_cycles / scale,
+        )
+
+    def cpi(self) -> tuple[float, float, float]:
+        """The same decomposition expressed as CPI components."""
+        if self.instructions <= 0:
+            raise SimulationError("instruction count required for CPI view")
+        return (
+            self.cycles_perfect / self.instructions,
+            self.latency_stall_cycles / self.instructions,
+            self.bandwidth_stall_cycles / self.instructions,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label or 'decomposition'}: "
+            f"f_P={self.f_p:.2f} f_L={self.f_l:.2f} f_B={self.f_b:.2f} "
+            f"(T={self.cycles_full})"
+        )
+
+
+def decompose(
+    cycles_perfect: int,
+    cycles_infinite: int,
+    cycles_full: int,
+    *,
+    instructions: int = 0,
+    label: str = "",
+) -> ExecutionDecomposition:
+    """Build an :class:`ExecutionDecomposition`, validating the ordering.
+
+    Timing noise in a simulator can produce ``T_I`` a hair below ``T_P`` or
+    ``T`` a hair below ``T_I`` (e.g. a prefetch that only helps when the
+    bus is infinitely wide); such small inversions are clamped rather than
+    rejected, matching how the paper treats them (stall components are
+    never negative).
+    """
+    cycles_infinite = max(cycles_infinite, cycles_perfect)
+    cycles_full = max(cycles_full, cycles_infinite)
+    return ExecutionDecomposition(
+        cycles_perfect=cycles_perfect,
+        cycles_infinite=cycles_infinite,
+        cycles_full=cycles_full,
+        instructions=instructions,
+        label=label,
+    )

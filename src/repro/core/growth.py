@@ -1,0 +1,228 @@
+"""I/O-complexity growth models: the paper's Table 2 and Figure 2.
+
+Section 2.4 analyses how computation and minimal off-chip traffic scale
+with problem size N and on-chip memory size S, in the style of Hong &
+Kung's red-blue pebble game [21]:
+
+=========  ==========  ==============  =====================  ============
+Algorithm  Memory      Computation C   Memory traffic D       C/D gain (S->kS)
+=========  ==========  ==============  =====================  ============
+TMM        O(N^2)      O(N^3)          O(N^3 / sqrt(S))       sqrt(k)
+Stencil    O(N^2)      O(N^2)          O(N^2 / S)             k
+FFT        O(N)        O(N log2 N)     O(N log2 N / log2 S)   ~log2 k
+Sort       O(N)        O(N log2 N)     O(N log2 N / log2 S)   ~log2 k
+=========  ==========  ==============  =====================  ============
+
+(The tiled matrix multiply bound is the classic 2 N^3 / L for L x L tiles
+with S ~ L^2 [21, 29]; quadrupling S doubles L and halves traffic.)
+
+The models expose exact functional forms so the Table 2 experiment can
+check the asymptotics empirically against the trace generators, and so
+Figure 2's processing-vs-bandwidth balance argument can be computed for a
+technology schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _check(n: int, s: int) -> None:
+    if n <= 1:
+        raise ConfigurationError(f"problem size must exceed 1, got {n}")
+    if s <= 1:
+        raise ConfigurationError(f"on-chip memory must exceed 1, got {s}")
+
+
+class GrowthModel(ABC):
+    """Computation/traffic scaling laws for one algorithm class."""
+
+    name: str = ""
+    memory_exponent: str = ""
+    computation_formula: str = ""
+    traffic_formula: str = ""
+    gain_formula: str = ""
+
+    @abstractmethod
+    def memory_words(self, n: int) -> float:
+        """Total data-set size (words) for problem size *n*."""
+
+    @abstractmethod
+    def computation(self, n: int) -> float:
+        """Operation count C for problem size *n*."""
+
+    @abstractmethod
+    def traffic(self, n: int, s: int) -> float:
+        """Minimal off-chip traffic D (words) with on-chip memory *s*."""
+
+    def cd_ratio(self, n: int, s: int) -> float:
+        """Operations per word of off-chip traffic."""
+        _check(n, s)
+        return self.computation(n) / self.traffic(n, s)
+
+    def improvement(self, n: int, s: int, k: float) -> float:
+        """Table 2's right column: C/D gain when S grows to k*S."""
+        if k <= 1:
+            raise ConfigurationError(f"memory growth factor must exceed 1, got {k}")
+        return self.cd_ratio(n, int(s * k)) / self.cd_ratio(n, s)
+
+
+class TiledMatrixMultiply(GrowthModel):
+    """C = 2N^3, D = 2N^3/L + N^2 with L = sqrt(S/3) tiles [21, 29]."""
+
+    name = "TMM"
+    memory_exponent = "O(N^2)"
+    computation_formula = "O(N^3)"
+    traffic_formula = "O(N^3 / sqrt(S))"
+    gain_formula = "sqrt(k)"
+
+    def memory_words(self, n: int) -> float:
+        return 3.0 * n * n
+
+    def computation(self, n: int) -> float:
+        return 2.0 * n ** 3
+
+    def traffic(self, n: int, s: int) -> float:
+        _check(n, s)
+        tile = max(1.0, math.sqrt(s / 3.0))
+        return 2.0 * n ** 3 / tile + n * n
+
+
+class Stencil(GrowthModel):
+    """Repeated neighbour updates over an N x N grid, tiled in time.
+
+    With S words on chip a tile of S cells advances ~sqrt(S) timesteps per
+    load, so traffic per sweep falls as 1/S — the paper's linear-in-k gain.
+    """
+
+    name = "Stencil"
+    memory_exponent = "O(N^2)"
+    computation_formula = "O(N^2)"
+    traffic_formula = "O(N^2 / S)"
+    gain_formula = "k"
+
+    #: Number of timesteps folded into the analysis (constant w.r.t. N, S).
+    #: Large enough that the time-tiled regime (T >> S) holds at the
+    #: memory sizes the experiments sweep.
+    timesteps = 1 << 17
+
+    def memory_words(self, n: int) -> float:
+        return float(n * n)
+
+    def computation(self, n: int) -> float:
+        return float(n * n) * self.timesteps
+
+    def traffic(self, n: int, s: int) -> float:
+        _check(n, s)
+        return max(float(n * n), float(n * n) * self.timesteps / s)
+
+
+class FFT(GrowthModel):
+    """N-point FFT: C = N log2 N, D = N log2 N / log2 S [21]."""
+
+    name = "FFT"
+    memory_exponent = "O(N)"
+    computation_formula = "O(N log2 N)"
+    traffic_formula = "O(N log2 N / log2 S)"
+    gain_formula = "~log2 k"
+
+    def memory_words(self, n: int) -> float:
+        return float(n)
+
+    def computation(self, n: int) -> float:
+        return n * math.log2(n)
+
+    def traffic(self, n: int, s: int) -> float:
+        _check(n, s)
+        return max(float(n), n * math.log2(n) / math.log2(s))
+
+
+class MergeSort(GrowthModel):
+    """Merge sort shares the FFT's N log N / log S traffic law."""
+
+    name = "Sort"
+    memory_exponent = "O(N)"
+    computation_formula = "O(N log2 N)"
+    traffic_formula = "O(N log2 N / log2 S)"
+    gain_formula = "~log2 k"
+
+    def memory_words(self, n: int) -> float:
+        return 2.0 * n  # double buffering
+
+    def computation(self, n: int) -> float:
+        return n * math.log2(n)
+
+    def traffic(self, n: int, s: int) -> float:
+        _check(n, s)
+        # log2(S) levels of the merge tree fit on chip per pass.
+        return max(2.0 * n, 2.0 * n * math.log2(n) / math.log2(s))
+
+
+#: Table 2's rows, in paper order.
+MODELS: tuple[GrowthModel, ...] = (
+    TiledMatrixMultiply(),
+    Stencil(),
+    FFT(),
+    MergeSort(),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BalancePoint:
+    """One year of Figure 2's processing-vs-bandwidth schedule."""
+
+    year: int
+    processor_ops_per_s: float
+    pin_bytes_per_s: float
+    onchip_words: int
+    #: Ops the algorithm can sustain per second given traffic demands.
+    achievable_ops_per_s: float
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        return self.achievable_ops_per_s < self.processor_ops_per_s
+
+
+def balance_schedule(
+    model: GrowthModel,
+    n: int,
+    *,
+    start_year: int = 1984,
+    years: int = 13,
+    ops_growth: float = 1.6,
+    pin_bw_growth: float = 1.25,
+    memory_growth: float = 1.6,
+    base_ops: float = 4e7,
+    base_bandwidth: float = 1.6e7,
+    base_memory_words: int = 1024,
+) -> list[BalancePoint]:
+    """Figure 2's two opposing trends, made quantitative.
+
+    Processor bandwidth (arrow 1) grows faster than pin bandwidth, but
+    growing on-chip memory (arrow 2) cuts traffic per operation. The
+    schedule reports, per year, whether the algorithm is bandwidth-bound:
+    achievable ops/s = pin bandwidth x (C/D ratio at that year's memory).
+    """
+    if years <= 0:
+        raise ConfigurationError("years must be positive")
+    points = []
+    for offset in range(years):
+        ops = base_ops * ops_growth ** offset
+        bandwidth = base_bandwidth * pin_bw_growth ** offset
+        memory = int(base_memory_words * memory_growth ** offset)
+        cd = model.cd_ratio(n, max(2, memory))
+        achievable = bandwidth / 4.0 * cd  # bytes/s -> words/s x ops/word
+        points.append(
+            BalancePoint(
+                year=start_year + offset,
+                processor_ops_per_s=ops,
+                pin_bytes_per_s=bandwidth,
+                onchip_words=memory,
+                achievable_ops_per_s=achievable,
+            )
+        )
+    return points

@@ -1,0 +1,169 @@
+"""Physical microprocessor trends: the paper's Figure 1 and Section 4.3.
+
+The paper compiled pin counts, performance, and package bandwidth for 18
+microprocessors from 1978-1997 "by hand, from both the processors'
+original manuals and back issues of Microprocessor Report". The same chips
+are reconstructed here from their public specifications. Performance
+follows the paper's convention: VAX MIPS for the 680x0 and early 80x86
+parts, issue width times clock rate for the rest ("these two measures
+cannot be compared directly, but are sufficient to view 20-year trends").
+
+Three series reproduce Figure 1's panels:
+
+* (a) pins per processor vs year (log scale) with the ~16%/year fit;
+* (b) MIPS per pin vs year;
+* (c) MIPS per MB/s of package bandwidth vs year.
+
+Section 4.3's extrapolation is implemented by :func:`extrapolate_2006`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ChipRecord:
+    """One microprocessor data point of Figure 1."""
+
+    name: str
+    year: int
+    pins: int
+    #: VAX MIPS (early chips) or issue width x clock in MHz (later chips).
+    mips: float
+    #: Peak package (bus) bandwidth in MB/s: external bus width x bus clock.
+    package_mb_per_s: float
+
+    @property
+    def mips_per_pin(self) -> float:
+        return self.mips / self.pins
+
+    @property
+    def mips_per_bandwidth(self) -> float:
+        return self.mips / self.package_mb_per_s
+
+
+#: The Figure 1 chip set, reconstructed from public datasheet values.
+#: Bandwidth = external data-bus width times bus clock.
+CHIPS: tuple[ChipRecord, ...] = (
+    ChipRecord("8086", 1978, 40, 0.33, 9.5),          # 16-bit @ ~4.77 MHz
+    ChipRecord("68000", 1979, 64, 1.0, 16.0),         # 16-bit @ 8 MHz
+    ChipRecord("80286", 1982, 68, 1.2, 16.0),         # 16-bit @ 8 MHz
+    ChipRecord("68020", 1984, 114, 2.0, 64.0),        # 32-bit @ 16 MHz
+    ChipRecord("80386", 1985, 132, 5.0, 64.0),        # 32-bit @ 16 MHz
+    ChipRecord("68030", 1987, 128, 7.0, 80.0),        # 32-bit @ 20 MHz
+    ChipRecord("R3000", 1988, 144, 20.0, 100.0),      # 32-bit @ 25 MHz
+    ChipRecord("80486", 1989, 168, 20.0, 100.0),      # 32-bit @ 25 MHz
+    ChipRecord("68040", 1990, 179, 25.0, 100.0),      # 32-bit @ 25 MHz
+    ChipRecord("Harp1", 1993, 240, 80.0, 320.0),      # 4-issue research part
+    ChipRecord("Pentium", 1993, 273, 132.0, 528.0),   # 2 x 66; 64-bit @ 66
+    ChipRecord("SSparc2", 1994, 293, 270.0, 400.0),   # 3 x 90; 64-bit @ 50
+    ChipRecord("68060", 1994, 223, 132.0, 264.0),     # 2 x 66; 32-bit @ 66
+    ChipRecord("UltraSparc", 1995, 521, 668.0, 1328.0),  # 4 x 167; 128-bit @ 83
+    ChipRecord("P6", 1995, 387, 600.0, 528.0),        # 3 x 200; 64-bit @ 66
+    ChipRecord("21164", 1995, 499, 1200.0, 1200.0),   # 4 x 300; 128-bit @ 75
+    ChipRecord("R10000", 1996, 599, 800.0, 800.0),    # 4 x 200; 64-bit @ 100
+    ChipRecord("PA8000", 1996, 1085, 720.0, 960.0),   # 4 x 180; no on-chip $
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TrendFit:
+    """Log-linear fit y = a * growth^(year - base_year)."""
+
+    base_year: int
+    base_value: float
+    annual_growth: float  #: e.g. 1.16 for 16%/year
+
+    def value_at(self, year: int) -> float:
+        return self.base_value * self.annual_growth ** (year - self.base_year)
+
+    @property
+    def percent_per_year(self) -> float:
+        return (self.annual_growth - 1.0) * 100.0
+
+
+def fit_exponential(points: Iterable[tuple[int, float]]) -> TrendFit:
+    """Least-squares fit of log(y) against year."""
+    data = [(year, value) for year, value in points if value > 0]
+    if len(data) < 2:
+        raise ConfigurationError("need at least two points to fit a trend")
+    n = len(data)
+    mean_x = sum(year for year, _ in data) / n
+    mean_y = sum(math.log(value) for _, value in data) / n
+    sxx = sum((year - mean_x) ** 2 for year, _ in data)
+    sxy = sum(
+        (year - mean_x) * (math.log(value) - mean_y) for year, value in data
+    )
+    slope = sxy / sxx
+    base_year = data[0][0]
+    intercept = mean_y + slope * (base_year - mean_x)
+    return TrendFit(
+        base_year=base_year,
+        base_value=math.exp(intercept),
+        annual_growth=math.exp(slope),
+    )
+
+
+def pin_trend(chips: Sequence[ChipRecord] = CHIPS) -> TrendFit:
+    """Figure 1a's dotted line: pin counts grow ~16% per year."""
+    return fit_exponential((chip.year, float(chip.pins)) for chip in chips)
+
+
+def mips_per_pin_trend(chips: Sequence[ChipRecord] = CHIPS) -> TrendFit:
+    """Figure 1b: raw performance per pin, also growing explosively."""
+    return fit_exponential((chip.year, chip.mips_per_pin) for chip in chips)
+
+
+def mips_per_bandwidth_trend(chips: Sequence[ChipRecord] = CHIPS) -> TrendFit:
+    """Figure 1c: performance over peak package bandwidth."""
+    return fit_exponential(
+        (chip.year, chip.mips_per_bandwidth) for chip in chips
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Extrapolation2006:
+    """Section 4.3's decade-out projection."""
+
+    pins_2006: float
+    performance_growth: float       #: assumed annual sustained growth (1.6)
+    pin_growth: float               #: fitted annual pin growth
+    bandwidth_per_pin_factor: float  #: required per-pin bandwidth increase
+    traffic_ratio_assumed: float
+
+
+def extrapolate_2006(
+    *,
+    base_year: int = 1996,
+    base_pins: int = 599,            #: R10000-class package
+    years: int = 10,
+    performance_growth: float = 1.60,
+    traffic_ratio: float = 0.51,
+    chips: Sequence[ChipRecord] = CHIPS,
+) -> Extrapolation2006:
+    """Reproduce the paper's projection for the processor of 2006.
+
+    With pins growing at the fitted ~16%/year and sustained performance at
+    a conservative 60%/year, the 2006 package has two-to-three thousand
+    pins and each pin must deliver ~25x the bandwidth of 1996 (assuming
+    on-chip traffic ratios stay the same).
+    """
+    if years <= 0:
+        raise ConfigurationError("extrapolation horizon must be positive")
+    pin_fit = pin_trend(chips)
+    pins_2006 = base_pins * pin_fit.annual_growth ** years
+    per_pin_factor = (
+        performance_growth ** years / pin_fit.annual_growth ** years
+    )
+    return Extrapolation2006(
+        pins_2006=pins_2006,
+        performance_growth=performance_growth,
+        pin_growth=pin_fit.annual_growth,
+        bandwidth_per_pin_factor=per_pin_factor,
+        traffic_ratio_assumed=traffic_ratio,
+    )

@@ -1,0 +1,39 @@
+"""Processor substrate: trace-driven timing models.
+
+Stands in for the SimpleScalar-based simulators of the paper's Section 3:
+a four-wide in-order superscalar core and an RUU-based out-of-order core
+with speculative loads, both driving a multi-level memory system with
+finite buses, MSHRs, and optional tagged prefetching. The three simulation
+modes (perfect memory / infinite-width buses / full system) produce the
+``T_P``/``T_I``/``T`` cycle counts of the execution-time decomposition.
+"""
+
+from repro.cpu.configs import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    MemoryParams,
+    ProcessorParams,
+    experiment,
+)
+from repro.cpu.isa import InstructionTrace, OpClass
+from repro.cpu.itrace import WorkloadProfile, build_instruction_trace
+from repro.cpu.machine import Machine, MachineResult, decompose_experiment
+from repro.cpu.multicore import ChipMultiprocessor, CMPResult, cmp_scaling
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "MemoryParams",
+    "ProcessorParams",
+    "experiment",
+    "InstructionTrace",
+    "OpClass",
+    "WorkloadProfile",
+    "build_instruction_trace",
+    "Machine",
+    "MachineResult",
+    "decompose_experiment",
+    "ChipMultiprocessor",
+    "CMPResult",
+    "cmp_scaling",
+]

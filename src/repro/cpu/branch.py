@@ -1,0 +1,77 @@
+"""Two-level adaptive branch predictor (gshare variant).
+
+The paper's processors use "a two-level branch predictor" with an 8K-entry
+table (16K for experiment F). This is the classic global-history scheme:
+the global branch history register is XOR-folded with the branch PC to
+index a table of two-bit saturating counters [Yeh & Patt / McFarling].
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.util import log2_int, require_power_of_two
+
+
+class TwoLevelPredictor:
+    """Gshare: global history XOR PC indexing a 2-bit counter table."""
+
+    def __init__(self, table_entries: int, history_bits: int | None = None) -> None:
+        require_power_of_two(table_entries, "predictor table size")
+        self.table_entries = table_entries
+        self.index_bits = log2_int(table_entries)
+        if history_bits is None:
+            history_bits = self.index_bits
+        if not 0 <= history_bits <= self.index_bits:
+            raise ConfigurationError(
+                f"history bits {history_bits} must be in [0, {self.index_bits}]"
+            )
+        self.history_bits = history_bits
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = table_entries - 1
+        # Two-bit counters initialised weakly taken, the common convention.
+        self._counters = bytearray([2]) * 1
+        self._counters = bytearray([2] * table_entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc* (no state change)."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train on the actual outcome.
+
+        Returns True when the prediction was correct.
+        """
+        index = self._index(pc)
+        prediction = self._counters[index] >= 2
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        return (
+            self.mispredictions / self.predictions if self.predictions else 0.0
+        )
+
+    def reset(self) -> None:
+        """Forget all history (used between the three decomposition runs)."""
+        self._counters = bytearray([2] * self.table_entries)
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0

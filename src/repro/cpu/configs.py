@@ -1,0 +1,196 @@
+"""Experiment configurations: the paper's Tables 4 and 5.
+
+Six experiments A-F per suite. A-C use the in-order core (A blocking
+caches, B larger blocks, C lockup-free); D-F use the RUU out-of-order core
+(E adds tagged prefetch, F widens the window/LSQ, doubles the predictor,
+and raises the clock). Memory parameters follow Table 4, with cache sizes
+scaled by the same footprint scale as the workloads (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheConfig
+from repro.mem.timing import BusSpec, TimingMemoryParams
+from repro.workloads.base import DEFAULT_SCALE
+
+EXPERIMENT_NAMES = ("A", "B", "C", "D", "E", "F")
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorParams:
+    """Table 5 processor-side parameters for one experiment/suite."""
+
+    out_of_order: bool
+    clock_mhz: int
+    ruu_slots: int
+    lsq_entries: int
+    branch_table_entries: int
+    issue_width: int = 4
+    mem_ports: int = 2
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryParams:
+    """Table 4/5 memory-side parameters for one experiment/suite."""
+
+    l1_bytes: int
+    l2_bytes: int
+    l1_block: int
+    l2_block: int
+    l2_assoc: int
+    bus_ratio: int          #: bus/proc clock denominator (3 or 4)
+    lockup_free: bool
+    tagged_prefetch: bool
+    l2_ns: float = 30.0
+    memory_ns: float = 90.0
+    mshr_count_lockup_free: int = 8
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """One column of Table 5, for one suite."""
+
+    name: str
+    suite: str
+    processor: ProcessorParams
+    memory: MemoryParams
+
+    def timing_memory_params(self, scale: float = DEFAULT_SCALE) -> TimingMemoryParams:
+        """Concrete memory parameters at the given footprint scale."""
+        mem = self.memory
+        clock = self.processor.clock_mhz
+        cycles_per_ns = clock / 1000.0
+        l1 = CacheConfig(
+            size_bytes=max(4 * mem.l1_block, int(mem.l1_bytes * scale)),
+            block_bytes=mem.l1_block,
+            associativity=1,
+            name="L1",
+        )
+        l2_size = max(8 * mem.l2_block, int(mem.l2_bytes * scale))
+        l2 = CacheConfig(
+            size_bytes=l2_size,
+            block_bytes=mem.l2_block,
+            associativity=mem.l2_assoc,
+            name="L2",
+        )
+        return TimingMemoryParams(
+            l1_config=l1,
+            l2_config=l2,
+            # "Multiplexed data/address lines are used only on the main
+            # memory bus" (Section 3.1): the L1/L2 bus pays no address
+            # beat, the memory bus pays one.
+            l1_l2_bus=BusSpec(
+                width_bytes=16,
+                proc_cycles_per_beat=mem.bus_ratio,
+                overhead_beats=0,
+            ),
+            l2_mem_bus=BusSpec(
+                width_bytes=8,
+                proc_cycles_per_beat=mem.bus_ratio,
+                overhead_beats=1,
+            ),
+            l1_hit_cycles=1,
+            l2_access_cycles=max(1, round(mem.l2_ns * cycles_per_ns)),
+            memory_access_cycles=max(1, round(mem.memory_ns * cycles_per_ns)),
+            mshr_count=mem.mshr_count_lockup_free if mem.lockup_free else 1,
+            tagged_prefetch=mem.tagged_prefetch,
+        )
+
+
+def _spec92_memory(**overrides) -> MemoryParams:
+    base = dict(
+        l1_bytes=128 * 1024,
+        l2_bytes=1024 * 1024,
+        l1_block=32,
+        l2_block=64,
+        l2_assoc=4,
+        bus_ratio=3,
+        lockup_free=False,
+        tagged_prefetch=False,
+    )
+    base.update(overrides)
+    return MemoryParams(**base)
+
+
+def _spec95_memory(**overrides) -> MemoryParams:
+    base = dict(
+        l1_bytes=64 * 1024,   # split 64K I / 64K D; data side modelled
+        l2_bytes=2 * 1024 * 1024,
+        l1_block=32,
+        l2_block=64,
+        l2_assoc=4,
+        bus_ratio=4,
+        lockup_free=False,
+        tagged_prefetch=False,
+    )
+    base.update(overrides)
+    return MemoryParams(**base)
+
+
+def _build_experiments() -> dict[tuple[str, str], ExperimentConfig]:
+    table: dict[tuple[str, str], ExperimentConfig] = {}
+    for suite, mem_factory, base_clock, base_ruu, base_lsq in (
+        ("SPEC92", _spec92_memory, 300, 16, 8),
+        ("SPEC95", _spec95_memory, 400, 64, 32),
+    ):
+        in_order = ProcessorParams(
+            out_of_order=False,
+            clock_mhz=base_clock,
+            ruu_slots=base_ruu,
+            lsq_entries=base_lsq,
+            branch_table_entries=8192,
+        )
+        out_of_order = ProcessorParams(
+            out_of_order=True,
+            clock_mhz=base_clock,
+            ruu_slots=base_ruu,
+            lsq_entries=base_lsq,
+            branch_table_entries=8192,
+        )
+        aggressive = ProcessorParams(
+            out_of_order=True,
+            clock_mhz=600 if suite == "SPEC95" else 300,
+            ruu_slots=base_ruu * (2 if suite == "SPEC95" else 4),
+            lsq_entries=base_lsq * (2 if suite == "SPEC95" else 4),
+            branch_table_entries=16384,
+        )
+        table[("A", suite)] = ExperimentConfig("A", suite, in_order, mem_factory())
+        table[("B", suite)] = ExperimentConfig(
+            "B", suite, in_order, mem_factory(l1_block=64, l2_block=128)
+        )
+        table[("C", suite)] = ExperimentConfig(
+            "C", suite, in_order, mem_factory(lockup_free=True)
+        )
+        table[("D", suite)] = ExperimentConfig(
+            "D", suite, out_of_order, mem_factory(lockup_free=True)
+        )
+        table[("E", suite)] = ExperimentConfig(
+            "E",
+            suite,
+            out_of_order,
+            mem_factory(lockup_free=True, tagged_prefetch=True),
+        )
+        table[("F", suite)] = ExperimentConfig(
+            "F",
+            suite,
+            aggressive,
+            mem_factory(lockup_free=True, tagged_prefetch=True),
+        )
+    return table
+
+
+EXPERIMENTS: dict[tuple[str, str], ExperimentConfig] = _build_experiments()
+
+
+def experiment(name: str, suite: str = "SPEC92") -> ExperimentConfig:
+    """Look up one of the paper's experiments A-F for a suite."""
+    key = (name.upper(), suite)
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}/{suite!r}; experiments are "
+            f"{EXPERIMENT_NAMES} over SPEC92/SPEC95"
+        )
+    return EXPERIMENTS[key]

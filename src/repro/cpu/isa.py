@@ -1,0 +1,134 @@
+"""Mini MIPS-like instruction representation for the timing models.
+
+Instructions are stored as parallel numpy arrays (structure-of-arrays):
+the timing cores walk hundreds of thousands of them per run, so per-
+instruction objects would dominate runtime. :class:`InstructionTrace`
+wraps the arrays with validation and convenient views.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class OpClass(enum.IntEnum):
+    """Functional classes with distinct latencies/ports."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    FP_DIV = 4
+    LOAD = 5
+    STORE = 6
+    BRANCH = 7
+
+
+#: Execution latency in cycles for non-memory classes (memory latency is
+#: supplied by the memory model). Typical early-90s pipeline values.
+OP_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.LOAD: 1,    # address generation; cache time added by the core
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+#: Register file size used by the synthetic dependency weaver.
+NUM_REGS = 64
+
+#: Source-operand sentinel for "no dependency".
+NO_REG = -1
+
+
+@dataclass(slots=True)
+class InstructionTrace:
+    """A structure-of-arrays instruction stream.
+
+    Attributes
+    ----------
+    opclass:
+        int8 array of :class:`OpClass` values.
+    dest, src1, src2:
+        int16 register numbers; ``NO_REG`` marks an absent operand.
+        ``dest`` of stores and branches is ``NO_REG``.
+    address:
+        int64 byte address for loads/stores, 0 elsewhere.
+    taken:
+        bool array; meaningful for branches only.
+    pc:
+        int64 synthetic program counter per instruction (used by the
+        branch predictor's history tables).
+    """
+
+    opclass: np.ndarray
+    dest: np.ndarray
+    src1: np.ndarray
+    src2: np.ndarray
+    address: np.ndarray
+    taken: np.ndarray
+    pc: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        n = self.opclass.size
+        for field_name in ("dest", "src1", "src2", "address", "taken", "pc"):
+            array = getattr(self, field_name)
+            if array.size != n:
+                raise TraceError(
+                    f"instruction trace field {field_name} has length "
+                    f"{array.size}, expected {n}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.opclass.size)
+
+    @property
+    def is_mem(self) -> np.ndarray:
+        return (self.opclass == OpClass.LOAD) | (self.opclass == OpClass.STORE)
+
+    @property
+    def is_load(self) -> np.ndarray:
+        return self.opclass == OpClass.LOAD
+
+    @property
+    def is_store(self) -> np.ndarray:
+        return self.opclass == OpClass.STORE
+
+    @property
+    def is_branch(self) -> np.ndarray:
+        return self.opclass == OpClass.BRANCH
+
+    @property
+    def memory_reference_count(self) -> int:
+        return int(self.is_mem.sum())
+
+    def head(self, count: int) -> "InstructionTrace":
+        """First *count* instructions (bounds timing-test runtime)."""
+        if count <= 0:
+            raise TraceError(f"count must be positive, got {count}")
+        return InstructionTrace(
+            opclass=self.opclass[:count],
+            dest=self.dest[:count],
+            src1=self.src1[:count],
+            src2=self.src2[:count],
+            address=self.address[:count],
+            taken=self.taken[:count],
+            pc=self.pc[:count],
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        mem = self.memory_reference_count
+        return (
+            f"<InstructionTrace {self.name!r} len={len(self)} "
+            f"mem={mem} ({mem / max(1, len(self)):.0%})>"
+        )

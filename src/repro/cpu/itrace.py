@@ -1,0 +1,228 @@
+"""Instruction-trace synthesis: weave memory traces into full programs.
+
+The paper's Section 3 experiments run SPEC binaries on SimpleScalar; this
+module is the analogous front end for the synthetic workloads. It takes a
+workload's memory trace and weaves it into a full instruction stream
+according to a per-benchmark :class:`WorkloadProfile`: compute operations
+per memory reference, floating-point mix, dependency distance (the ILP
+knob), and branch structure (loop-like predictable branches vs data-
+dependent hard ones).
+
+The resulting :class:`~repro.cpu.isa.InstructionTrace` drives both timing
+cores; its memory references are exactly the workload's, so the timing and
+traffic experiments see consistent behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.isa import NO_REG, NUM_REGS, InstructionTrace, OpClass
+from repro.errors import WorkloadError
+from repro.trace.model import MemTrace
+from repro.workloads.base import SyntheticWorkload
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Per-benchmark instruction-mix parameters.
+
+    ops_per_ref:
+        Average compute instructions per memory reference (SPEC-era codes
+        run 30-40% loads/stores, i.e. ~1.5-2.5 compute ops per reference).
+    fp_fraction:
+        Fraction of compute ops that are floating point.
+    dependency_window:
+        Compute sources are drawn from the last N destinations: small N
+        gives serial chains (low ILP), large N independent work (high ILP).
+    branch_every:
+        One branch per this many instructions.
+    loop_branch_fraction:
+        Fraction of branches that are loop back-edges (highly predictable);
+        the rest are data-dependent with ``data_taken_prob``.
+    data_taken_prob:
+        Taken probability of data-dependent branches (0.5 = unpredictable).
+    """
+
+    ops_per_ref: float = 1.8
+    fp_fraction: float = 0.1
+    dependency_window: int = 8
+    branch_every: int = 7
+    loop_branch_fraction: float = 0.75
+    data_taken_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.ops_per_ref < 0:
+            raise WorkloadError("ops_per_ref must be non-negative")
+        if not 0 <= self.fp_fraction <= 1:
+            raise WorkloadError("fp_fraction must be in [0, 1]")
+        if self.dependency_window < 1:
+            raise WorkloadError("dependency_window must be at least 1")
+        if self.branch_every < 2:
+            raise WorkloadError("branch_every must be at least 2")
+        if not 0 <= self.loop_branch_fraction <= 1:
+            raise WorkloadError("loop_branch_fraction must be in [0, 1]")
+        if not 0 <= self.data_taken_prob <= 1:
+            raise WorkloadError("data_taken_prob must be in [0, 1]")
+
+
+#: Instruction-mix profiles for every benchmark the paper simulates.
+#: FP codes: high fp mix, wide dependency windows (vectorizable loops).
+#: Integer codes: serial chains, more data-dependent branches.
+PROFILES: dict[str, WorkloadProfile] = {
+    "Compress": WorkloadProfile(1.6, 0.0, 4, 6, 0.45, 0.5),
+    "Dnasa2": WorkloadProfile(1.9, 0.75, 24, 9, 0.95, 0.5),
+    "Eqntott": WorkloadProfile(1.5, 0.0, 6, 5, 0.6, 0.45),
+    "Espresso": WorkloadProfile(1.7, 0.0, 5, 5, 0.6, 0.4),
+    "Su2cor": WorkloadProfile(2.0, 0.7, 20, 9, 0.9, 0.5),
+    "Swm": WorkloadProfile(2.1, 0.8, 28, 10, 0.95, 0.5),
+    "Tomcatv": WorkloadProfile(2.0, 0.8, 24, 10, 0.95, 0.5),
+    "Applu": WorkloadProfile(2.2, 0.8, 28, 10, 0.95, 0.5),
+    "Hydro2D": WorkloadProfile(2.0, 0.75, 24, 9, 0.9, 0.5),
+    "Li": WorkloadProfile(1.4, 0.0, 3, 5, 0.5, 0.45),
+    "Perl": WorkloadProfile(1.5, 0.0, 4, 5, 0.5, 0.45),
+    "Su2cor95": WorkloadProfile(2.0, 0.7, 20, 9, 0.9, 0.5),
+    "Swim95": WorkloadProfile(2.1, 0.8, 28, 10, 0.95, 0.5),
+    "Vortex": WorkloadProfile(1.6, 0.0, 4, 6, 0.55, 0.45),
+}
+
+
+def profile_for(name: str) -> WorkloadProfile:
+    """Profile for a benchmark; unknown names get the default profile."""
+    return PROFILES.get(name, WorkloadProfile())
+
+
+def build_instruction_trace(
+    memtrace: MemTrace,
+    profile: WorkloadProfile | None = None,
+    *,
+    seed: int = 0,
+    name: str = "",
+) -> InstructionTrace:
+    """Weave *memtrace* into a full instruction stream.
+
+    The memory references appear in order; around each one the builder
+    inserts compute instructions per the profile, and every
+    ``branch_every`` instructions a branch. Dependencies are wired so a
+    load's value feeds nearby compute ops and compute results feed stores.
+    """
+    if profile is None:
+        profile = profile_for(memtrace.name)
+    if not len(memtrace):
+        raise WorkloadError("cannot build instructions from an empty trace")
+    rng = np.random.default_rng(seed)
+
+    n_refs = len(memtrace)
+    # Integer compute count per reference, dithered to hit the average.
+    ops_float = np.full(n_refs, profile.ops_per_ref)
+    ops_count = np.floor(
+        ops_float + rng.random(n_refs)
+    ).astype(np.int64)
+
+    group_sizes = 1 + ops_count
+    total_core = int(group_sizes.sum())
+    # One branch per branch_every core instructions, appended after groups.
+    branch_count = total_core // profile.branch_every
+    total = total_core + branch_count
+
+    opclass = np.empty(total, dtype=np.int8)
+    dest = np.full(total, NO_REG, dtype=np.int16)
+    src1 = np.full(total, NO_REG, dtype=np.int16)
+    src2 = np.full(total, NO_REG, dtype=np.int16)
+    address = np.zeros(total, dtype=np.int64)
+    taken = np.zeros(total, dtype=bool)
+    pc = np.zeros(total, dtype=np.int64)
+
+    # ---- lay out groups and branches ------------------------------------------
+    group_starts = np.concatenate(([0], np.cumsum(group_sizes)[:-1]))
+    # Each group is shifted right by the number of branches inserted before
+    # it: branch b sits after core position (b+1)*branch_every.
+    branch_core_positions = (
+        np.arange(1, branch_count + 1) * profile.branch_every
+    )
+    shifts = np.searchsorted(branch_core_positions, group_starts, side="right")
+    mem_positions = group_starts + shifts
+    branch_positions = branch_core_positions + np.arange(branch_count)
+
+    # memory ops
+    is_store = memtrace.is_write
+    opclass[mem_positions] = np.where(is_store, OpClass.STORE, OpClass.LOAD)
+    address[mem_positions] = memtrace.addresses
+
+    # branches
+    opclass[branch_positions] = OpClass.BRANCH
+    loop_mask = rng.random(branch_count) < profile.loop_branch_fraction
+    # Loop back-edges: a handful of sites, taken except at loop exit.
+    loop_pcs = 0x1000 + (rng.integers(0, 8, size=branch_count) << 4)
+    data_pcs = 0x8000 + (rng.integers(0, 16, size=branch_count) << 4)
+    pc[branch_positions] = np.where(loop_mask, loop_pcs, data_pcs)
+    loop_taken = rng.random(branch_count) < 0.92
+    data_taken = rng.random(branch_count) < profile.data_taken_prob
+    taken[branch_positions] = np.where(loop_mask, loop_taken, data_taken)
+
+    # compute ops fill the remaining slots
+    filled = np.zeros(total, dtype=bool)
+    filled[mem_positions] = True
+    filled[branch_positions] = True
+    compute_positions = np.flatnonzero(~filled)
+    n_compute = compute_positions.size
+    fp_mask = rng.random(n_compute) < profile.fp_fraction
+    fp_kind = rng.random(n_compute)
+    fp_ops = np.where(
+        fp_kind < 0.62,
+        OpClass.FP_ALU,
+        np.where(fp_kind < 0.94, OpClass.FP_MUL, OpClass.FP_DIV),
+    )
+    int_ops = np.where(rng.random(n_compute) < 0.92, OpClass.INT_ALU, OpClass.INT_MUL)
+    opclass[compute_positions] = np.where(fp_mask, fp_ops, int_ops)
+
+    # ---- register wiring -------------------------------------------------------
+    # Destinations rotate through the register file; loads and computes
+    # produce values, stores and branches do not.
+    produces = (opclass != OpClass.STORE) & (opclass != OpClass.BRANCH)
+    producer_positions = np.flatnonzero(produces)
+    dest[producer_positions] = (
+        np.arange(producer_positions.size) % NUM_REGS
+    ).astype(np.int16)
+
+    # Sources: each consumer reads the destination of a producer between 1
+    # and dependency_window producers back — the ILP knob. Vectorized via
+    # producer ordinals.
+    producer_ordinal = np.cumsum(produces) - 1  # ordinal of producer at/before i
+    consumer_positions = np.flatnonzero(opclass != OpClass.BRANCH)
+    gaps1 = rng.integers(1, profile.dependency_window + 1, size=consumer_positions.size)
+    gaps2 = rng.integers(1, profile.dependency_window + 1, size=consumer_positions.size)
+    back1 = producer_ordinal[consumer_positions] - gaps1
+    back2 = producer_ordinal[consumer_positions] - gaps2
+    src1[consumer_positions] = np.where(back1 >= 0, back1 % NUM_REGS, NO_REG)
+    # Loads take a single (address) source; give computes and stores two.
+    two_source = (opclass[consumer_positions] != OpClass.LOAD)
+    src2[consumer_positions] = np.where(
+        two_source & (back2 >= 0), back2 % NUM_REGS, NO_REG
+    )
+
+    return InstructionTrace(
+        opclass=opclass,
+        dest=dest,
+        src1=src1,
+        src2=src2,
+        address=address,
+        taken=taken,
+        pc=pc,
+        name=name or memtrace.name,
+    )
+
+
+def instruction_trace_for_workload(
+    workload: SyntheticWorkload,
+    *,
+    seed: int = 0,
+    max_refs: int | None = None,
+) -> InstructionTrace:
+    """Generate the workload's memory trace and weave instructions."""
+    memtrace = workload.generate(seed=seed, max_refs=max_refs)
+    return build_instruction_trace(
+        memtrace, profile_for(workload.name), seed=seed, name=workload.name
+    )

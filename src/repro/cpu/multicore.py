@@ -1,0 +1,266 @@
+"""Single-chip multiprocessor timing: cores sharing one pin interface.
+
+Section 2.2 of the paper: "The emergence of single-chip multiprocessors
+would substantially increase the number of data loaded per cycle ... The
+primary barrier to the implementation of single-chip multiprocessors will
+not be transistor availability but off-chip memory bandwidth. If one
+processor loses performance due to limited pin bandwidth, then multiple
+processors on a chip will lose far more performance for the same reason."
+
+:class:`ChipMultiprocessor` runs K copies of a workload (disjoint address
+spaces — independent processes) on K out-of-order cores that each own an
+L1 but share the L2, the L1/L2 bus, and the memory bus. Cores are stepped
+round-robin one instruction at a time so their timestamp streams stay
+roughly aligned, and the shared buses' earliest-free cursors provide the
+cross-core queueing. The result reports per-core slowdown versus a core
+running alone — the paper's "lose far more performance" made measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.branch import TwoLevelPredictor
+from repro.cpu.configs import ExperimentConfig, experiment
+from repro.cpu.isa import NO_REG, NUM_REGS, OP_LATENCY, InstructionTrace, OpClass
+from repro.cpu.itrace import instruction_trace_for_workload
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache
+from repro.mem.timing import MemoryMode, TimingMemory
+from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
+
+#: Address-space separation between cores' copies of the workload.
+CORE_ADDRESS_STRIDE = 1 << 32
+
+
+class _SharedL2Memory(TimingMemory):
+    """A TimingMemory whose L1 is per-core but L2/buses are shared.
+
+    Implemented by giving each core its own functional L1 while routing
+    every L1 miss through the shared instance's L2 state and buses. The
+    shared instance's own L1 is unused.
+    """
+
+    def l1_for_core(self, core_index: int) -> Cache:
+        key = f"_core_l1_{core_index}"
+        if not hasattr(self, key):
+            setattr(self, key, Cache(self.params.l1_config))
+        return getattr(self, key)
+
+
+@dataclass(frozen=True, slots=True)
+class CoreOutcome:
+    core: int
+    cycles: int
+    instructions: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass(slots=True)
+class CMPResult:
+    """Scaling outcome for one core count."""
+
+    cores: list[CoreOutcome]
+    solo_cycles: int
+
+    @property
+    def core_count(self) -> int:
+        return len(self.cores)
+
+    @property
+    def worst_cycles(self) -> int:
+        return max(outcome.cycles for outcome in self.cores)
+
+    @property
+    def per_core_slowdown(self) -> float:
+        """How much slower each core runs than it would alone."""
+        return self.worst_cycles / self.solo_cycles
+
+    @property
+    def throughput_speedup(self) -> float:
+        """Aggregate work rate relative to a single core: K cores finish
+        K workloads in worst_cycles vs K * solo_cycles sequentially."""
+        return self.core_count * self.solo_cycles / self.worst_cycles
+
+
+class ChipMultiprocessor:
+    """K out-of-order cores over one shared memory system."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        core_count: int,
+        *,
+        scale: float = DEFAULT_SCALE,
+    ) -> None:
+        if core_count <= 0:
+            raise ConfigurationError("need at least one core")
+        self.config = config
+        self.core_count = core_count
+        self.scale = scale
+
+    def run(self, trace: InstructionTrace) -> CMPResult:
+        solo = self._run_cores(trace, 1)[0]
+        outcomes = self._run_cores(trace, self.core_count)
+        return CMPResult(cores=outcomes, solo_cycles=solo.cycles)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _run_cores(
+        self, trace: InstructionTrace, core_count: int
+    ) -> list[CoreOutcome]:
+        """Round-robin timestamp simulation of *core_count* cores."""
+        config = self.config
+        params = config.timing_memory_params(self.scale)
+        shared = _SharedL2Memory(params, MemoryMode.FULL)
+        processor = config.processor
+
+        opclasses = trace.opclass.tolist()
+        dests = trace.dest.tolist()
+        src1s = trace.src1.tolist()
+        src2s = trace.src2.tolist()
+        addresses = trace.address.tolist()
+        takens = trace.taken.tolist()
+        pcs = trace.pc.tolist()
+        n = len(opclasses)
+
+        load_op = int(OpClass.LOAD)
+        store_op = int(OpClass.STORE)
+        branch_op = int(OpClass.BRANCH)
+        width = processor.issue_width
+        ruu = processor.ruu_slots
+
+        # Per-core scheduling state (simplified in-order-ish OoO: issue
+        # limited by deps, window pacing via the retire recurrence).
+        state = []
+        for core in range(core_count):
+            state.append(
+                {
+                    "reg": [0] * NUM_REGS,
+                    "retire": [0] * n,
+                    "fetch_avail": 0,
+                    "fetch_cycle": 0,
+                    "fetched": 0,
+                    "predictor": TwoLevelPredictor(
+                        processor.branch_table_entries
+                    ),
+                    "l1": shared.l1_for_core(core),
+                    "offset": core * CORE_ADDRESS_STRIDE,
+                    "last": 0,
+                }
+            )
+
+        def mem_access(core_state, time, address, is_write):
+            """Per-core L1 probe, shared L2/buses below."""
+            l1: Cache = core_state["l1"]
+            shared.stats.accesses += 1
+            block = address // params.l1_config.block_bytes
+            if l1.contains(address):
+                l1.access(address, is_write)
+                return time + params.l1_hit_cycles
+            shared.stats.l1_misses += 1
+            shared._now = time
+            start = shared._allocate_mshr(time)
+            fill_time, release = shared._fetch_into_l1(start, address)
+            shared._register_mshr(block + core_state["offset"], fill_time, release)
+            l1.access(address, is_write)
+            if is_write:
+                return time + params.l1_hit_cycles
+            return max(time + params.l1_hit_cycles, fill_time)
+
+        for index in range(n):
+            for core_state in state:
+                if core_state["fetch_cycle"] < core_state["fetch_avail"]:
+                    core_state["fetch_cycle"] = core_state["fetch_avail"]
+                    core_state["fetched"] = 0
+                if core_state["fetched"] >= width:
+                    core_state["fetch_cycle"] += 1
+                    core_state["fetched"] = 0
+                fetch_time = core_state["fetch_cycle"]
+                core_state["fetched"] += 1
+
+                dispatch = fetch_time
+                if index >= ruu:
+                    window_free = core_state["retire"][index - ruu]
+                    if window_free > dispatch:
+                        dispatch = window_free
+
+                ready = dispatch
+                reg = core_state["reg"]
+                source = src1s[index]
+                if source != NO_REG and reg[source] > ready:
+                    ready = reg[source]
+                source = src2s[index]
+                if source != NO_REG and reg[source] > ready:
+                    ready = reg[source]
+
+                op = opclasses[index]
+                if op == load_op or op == store_op:
+                    completion = mem_access(
+                        core_state,
+                        ready,
+                        addresses[index] + core_state["offset"],
+                        op == store_op,
+                    )
+                elif op == branch_op:
+                    completion = ready + 1
+                else:
+                    completion = ready + OP_LATENCY[OpClass(op)]
+
+                dest = dests[index]
+                if dest != NO_REG:
+                    reg[dest] = completion
+
+                retire = completion
+                retires = core_state["retire"]
+                if index and retires[index - 1] > retire:
+                    retire = retires[index - 1]
+                if index >= width:
+                    paced = retires[index - width] + 1
+                    if paced > retire:
+                        retire = paced
+                retires[index] = retire
+                if retire > core_state["last"]:
+                    core_state["last"] = retire
+
+                if op == branch_op:
+                    if not core_state["predictor"].update(
+                        pcs[index], takens[index]
+                    ):
+                        redirect = completion + 3
+                        if redirect > core_state["fetch_avail"]:
+                            core_state["fetch_avail"] = redirect
+
+        return [
+            CoreOutcome(
+                core=core,
+                cycles=max(1, core_state["last"]),
+                instructions=n,
+            )
+            for core, core_state in enumerate(state)
+        ]
+
+
+def cmp_scaling(
+    workload: SyntheticWorkload,
+    *,
+    core_counts: tuple[int, ...] = (1, 2, 4),
+    experiment_name: str = "F",
+    max_refs: int | None = 6_000,
+    seed: int = 0,
+) -> list[CMPResult]:
+    """Per-core slowdown and throughput for growing core counts."""
+    trace = instruction_trace_for_workload(
+        workload, seed=seed, max_refs=max_refs
+    )
+    config = experiment(experiment_name, workload.suite)
+    results = []
+    for count in core_counts:
+        cmp_machine = ChipMultiprocessor(
+            config, count, scale=workload.scale
+        )
+        results.append(cmp_machine.run(trace))
+    return results

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or experiment was configured with invalid parameters.
+
+    Examples: a cache whose size is not a multiple of its block size, a bus
+    with zero width, or an experiment referencing an unknown workload.
+    """
+
+
+class TraceError(ReproError):
+    """A memory or instruction trace is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an internally inconsistent state.
+
+    This indicates a bug in the simulator (or deliberately injected fault in
+    the failure-injection tests), never a user mistake.
+    """
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was requested with unusable parameters."""

@@ -1,0 +1,139 @@
+"""Effective pin bandwidth for two-level hierarchies (Equations 5 and 7).
+
+The paper defines effective pin bandwidth over *k* levels of on-chip
+cache (``E_pin = B_pin / prod R_i``) but measures only one level. This
+experiment completes the calculation for the two-level organisation of
+its own Table 4: an L1 backed by an L2, both on chip, with per-level
+traffic ratios composing into the effective bandwidth the processor sees,
+and the per-level traffic inefficiencies composing into the OE_pin upper
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.traffic import (
+    effective_pin_bandwidth,
+    optimal_effective_pin_bandwidth,
+)
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import TraceHierarchy
+from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.workloads.base import DEFAULT_SCALE
+from repro.workloads.registry import all_workloads
+
+#: A 1996-class package: 128-bit bus at 75 MHz (Alpha 21164-like).
+DEFAULT_PIN_BANDWIDTH_MB_S = 1200.0
+
+
+@dataclass(frozen=True, slots=True)
+class EpinRow:
+    benchmark: str
+    r1: float
+    r2: float
+    #: G for the combined two-level stack (cache traffic below L2 over
+    #: the traffic of an MTC sized as L1+L2).
+    g_stack: float
+    e_pin_mb_s: float
+    oe_pin_mb_s: float
+
+    @property
+    def cumulative_ratio(self) -> float:
+        return self.r1 * self.r2
+
+
+@dataclass(slots=True)
+class EpinResult:
+    rows: list[EpinRow]
+    pin_bandwidth_mb_s: float
+    l1_bytes: int
+    l2_bytes: int
+
+
+def run(
+    *,
+    scale: float = DEFAULT_SCALE,
+    max_refs: int | None = 150_000,
+    seed: int = 0,
+    pin_bandwidth_mb_s: float = DEFAULT_PIN_BANDWIDTH_MB_S,
+    l1_paper_bytes: int = 128 * 1024,
+    l2_paper_bytes: int = 1024 * 1024,
+) -> EpinResult:
+    """Measure E_pin and OE_pin for the SPEC92 suite on an L1+L2 stack."""
+    l1_bytes = max(128, int(l1_paper_bytes * scale))
+    l2_bytes = max(512, int(l2_paper_bytes * scale))
+    configs = [
+        CacheConfig(size_bytes=l1_bytes, block_bytes=32, name="L1"),
+        CacheConfig(
+            size_bytes=l2_bytes, block_bytes=64, associativity=4, name="L2"
+        ),
+    ]
+    rows = []
+    for workload in all_workloads("SPEC92", scale=scale):
+        trace = workload.generate(seed=seed, max_refs=max_refs)
+        result = TraceHierarchy(configs).simulate(trace)
+        r1, r2 = result.traffic_ratios
+        # The stack-level inefficiency: compare the traffic below L2
+        # against an optimally-managed memory of the total on-chip size.
+        mtc = MinimalTrafficCache(
+            MTCConfig(size_bytes=_pow2_at_least(l1_bytes + l2_bytes))
+        ).simulate(trace)
+        below_l2 = result.traffic_below[-1]
+        g_stack = (
+            below_l2 / mtc.total_traffic_bytes
+            if mtc.total_traffic_bytes
+            else 1.0
+        )
+        g_stack = max(1.0, g_stack)
+        e_pin = effective_pin_bandwidth(pin_bandwidth_mb_s, [r1, r2])
+        oe_pin = optimal_effective_pin_bandwidth(
+            pin_bandwidth_mb_s, [r1, r2], [g_stack]
+        )
+        rows.append(
+            EpinRow(
+                benchmark=workload.name,
+                r1=r1,
+                r2=r2,
+                g_stack=g_stack,
+                e_pin_mb_s=e_pin,
+                oe_pin_mb_s=oe_pin,
+            )
+        )
+    return EpinResult(
+        rows=rows,
+        pin_bandwidth_mb_s=pin_bandwidth_mb_s,
+        l1_bytes=l1_bytes,
+        l2_bytes=l2_bytes,
+    )
+
+
+def _pow2_at_least(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+def render(result: EpinResult) -> str:
+    from repro.util import format_size, format_table
+
+    headers = ["Benchmark", "R1", "R2", "R1*R2", "G(stack)", "E_pin", "OE_pin"]
+    body = [
+        [
+            row.benchmark,
+            f"{row.r1:.2f}",
+            f"{row.r2:.2f}",
+            f"{row.cumulative_ratio:.3f}",
+            f"{row.g_stack:.1f}",
+            f"{row.e_pin_mb_s:,.0f}",
+            f"{row.oe_pin_mb_s:,.0f}",
+        ]
+        for row in result.rows
+    ]
+    title = (
+        f"Two-level effective pin bandwidth "
+        f"(L1 {format_size(result.l1_bytes)} + L2 {format_size(result.l2_bytes)} "
+        f"simulated, {result.pin_bandwidth_mb_s:.0f} MB/s package)"
+    )
+    return f"{title}\n" + format_table(headers, body)

@@ -1,0 +1,80 @@
+"""Figure 1: physical microprocessor trends, plus the §4.3 extrapolation.
+
+Regenerates the three panels as (year, value) series over the chip data
+set and fits the growth trends the paper quotes: pins at ~16%/year, and a
+2006 package of two-to-three thousand pins needing ~25x the per-pin
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pins import (
+    CHIPS,
+    ChipRecord,
+    Extrapolation2006,
+    TrendFit,
+    extrapolate_2006,
+    mips_per_bandwidth_trend,
+    mips_per_pin_trend,
+    pin_trend,
+)
+
+#: Paper-quoted values this experiment checks against.
+PAPER_PIN_GROWTH_PERCENT = 16.0
+PAPER_2006_PINS_RANGE = (2000.0, 3000.0)
+PAPER_PER_PIN_FACTOR = 25.0
+
+
+@dataclass(frozen=True, slots=True)
+class Figure1Result:
+    chips: tuple[ChipRecord, ...]
+    pins_series: list[tuple[int, float]]
+    mips_per_pin_series: list[tuple[int, float]]
+    mips_per_bandwidth_series: list[tuple[int, float]]
+    pin_fit: TrendFit
+    mips_per_pin_fit: TrendFit
+    mips_per_bandwidth_fit: TrendFit
+    extrapolation: Extrapolation2006
+
+
+def run(*, performance_growth: float = 1.60) -> Figure1Result:
+    """Compute all three panels and the decade-out extrapolation."""
+    chips = CHIPS
+    return Figure1Result(
+        chips=chips,
+        pins_series=[(c.year, float(c.pins)) for c in chips],
+        mips_per_pin_series=[(c.year, c.mips_per_pin) for c in chips],
+        mips_per_bandwidth_series=[
+            (c.year, c.mips_per_bandwidth) for c in chips
+        ],
+        pin_fit=pin_trend(chips),
+        mips_per_pin_fit=mips_per_pin_trend(chips),
+        mips_per_bandwidth_fit=mips_per_bandwidth_trend(chips),
+        extrapolation=extrapolate_2006(performance_growth=performance_growth),
+    )
+
+
+def render(result: Figure1Result) -> str:
+    from repro.experiments.report import render_series
+
+    panels = render_series(
+        "Figure 1: physical microprocessor trends",
+        "year",
+        {
+            "(a) pins": result.pins_series,
+            "(b) MIPS/pin": result.mips_per_pin_series,
+            "(c) MIPS per MB/s": result.mips_per_bandwidth_series,
+        },
+    )
+    extrapolation = result.extrapolation
+    summary = (
+        f"Pin growth: {result.pin_fit.percent_per_year:.1f}%/year "
+        f"(paper: ~{PAPER_PIN_GROWTH_PERCENT:.0f}%)\n"
+        f"2006 package: {extrapolation.pins_2006:.0f} pins "
+        f"(paper: 2000-3000); per-pin bandwidth factor "
+        f"{extrapolation.bandwidth_per_pin_factor:.1f}x "
+        f"(paper: ~{PAPER_PER_PIN_FACTOR:.0f}x)"
+    )
+    return f"{panels}\n{summary}"

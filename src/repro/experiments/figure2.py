@@ -1,0 +1,69 @@
+"""Figure 2: the processing-vs-bandwidth balance argument, quantified.
+
+The paper's Figure 2 is qualitative: processor bandwidth (arrow 1)
+outgrows pin bandwidth while growing on-chip memory (arrow 2) cuts
+traffic. This experiment runs the balance schedule for each Table 2
+algorithm and reports, per year, whether a machine on that technology
+curve is bandwidth-bound — and how fast processing must grow for the
+balance to hold (the paper: the square root of the memory growth for
+TMM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.growth import MODELS, BalancePoint, GrowthModel, balance_schedule
+
+
+@dataclass(frozen=True, slots=True)
+class Figure2Result:
+    schedules: dict[str, list[BalancePoint]]
+    #: Per-algorithm: the processing growth rate that exactly balances a
+    #: 4x memory increase (sqrt for TMM, 4x for stencil, ...).
+    balancing_growth: dict[str, float]
+
+
+def run(
+    *,
+    n: int = 1 << 20,
+    ops_growth: float = 1.6,
+    pin_bw_growth: float = 1.25,
+    memory_growth: float = 1.6,
+) -> Figure2Result:
+    """Compute the balance schedules for all Table 2 algorithms."""
+    schedules = {
+        model.name: balance_schedule(
+            model,
+            n,
+            ops_growth=ops_growth,
+            pin_bw_growth=pin_bw_growth,
+            memory_growth=memory_growth,
+        )
+        for model in MODELS
+    }
+    balancing = {
+        model.name: _balancing_growth(model, n)
+        for model in MODELS
+    }
+    return Figure2Result(schedules=schedules, balancing_growth=balancing)
+
+
+def _balancing_growth(model: GrowthModel, n: int, s: int = 4096) -> float:
+    """C/D gain of a 4x memory increase = max processing speedup the same
+    pin bandwidth can feed (the paper's Section 2.4 argument)."""
+    return model.improvement(n, s, 4.0)
+
+
+def render(result: Figure2Result) -> str:
+    lines = ["Figure 2: processing vs bandwidth balance"]
+    for name, schedule in result.schedules.items():
+        crossover = next(
+            (p.year for p in schedule if p.bandwidth_bound), None
+        )
+        gain = result.balancing_growth[name]
+        where = f"bandwidth-bound from {crossover}" if crossover else "never bound"
+        lines.append(
+            f"  {name:<8s} C/D gain for 4x memory: {gain:.2f}x; {where}"
+        )
+    return "\n".join(lines)

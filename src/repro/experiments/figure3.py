@@ -1,0 +1,107 @@
+"""Figure 3: execution-time decomposition across experiments A-F.
+
+For each benchmark (both SPEC panels) and each of the six machines, runs
+the three-simulation protocol and reports normalized bars: processing,
+raw-latency-stall, and bandwidth-stall segments, normalized to experiment
+A's processing time — exactly the paper's bar chart, as numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decomposition import ExecutionDecomposition
+from repro.cpu.configs import EXPERIMENT_NAMES, experiment
+from repro.cpu.itrace import build_instruction_trace, profile_for
+from repro.cpu.machine import Machine, MachineResult
+from repro.errors import ConfigurationError
+from repro.workloads.base import DEFAULT_SCALE
+from repro.workloads.registry import all_workloads
+
+
+@dataclass(frozen=True, slots=True)
+class Figure3Bar:
+    benchmark: str
+    experiment: str
+    decomposition: ExecutionDecomposition
+    #: (processing, latency, bandwidth) normalized to experiment A's T_P.
+    normalized: tuple[float, float, float]
+
+    @property
+    def f_b(self) -> float:
+        return self.decomposition.f_b
+
+
+@dataclass(slots=True)
+class Figure3Result:
+    suite: str
+    bars: dict[tuple[str, str], Figure3Bar]
+
+    def bar(self, benchmark: str, exp: str) -> Figure3Bar:
+        key = (benchmark, exp.upper())
+        if key not in self.bars:
+            raise ConfigurationError(f"no bar for {key}")
+        return self.bars[key]
+
+    def benchmarks(self) -> list[str]:
+        return sorted({benchmark for benchmark, _ in self.bars})
+
+
+def run(
+    suite: str = "SPEC92",
+    *,
+    scale: float = DEFAULT_SCALE,
+    max_refs: int | None = 40_000,
+    seed: int = 0,
+    experiments: tuple[str, ...] = EXPERIMENT_NAMES,
+    benchmarks: list[str] | None = None,
+) -> Figure3Result:
+    """Run the Figure 3 grid for one suite.
+
+    ``max_refs`` bounds the memory references per benchmark (the timing
+    cores are the slowest simulators in the library); the relative bar
+    shapes stabilize well below the default.
+    """
+    workloads = all_workloads(suite, scale=scale)
+    if benchmarks is not None:
+        wanted = {b.lower() for b in benchmarks}
+        workloads = [w for w in workloads if w.name.lower() in wanted]
+    bars: dict[tuple[str, str], Figure3Bar] = {}
+    for workload in workloads:
+        memtrace = workload.generate(seed=seed, max_refs=max_refs)
+        itrace = build_instruction_trace(
+            memtrace, profile_for(workload.name), seed=seed, name=workload.name
+        )
+        baseline_tp: int | None = None
+        for exp_name in experiments:
+            config = experiment(exp_name, suite)
+            result: MachineResult = Machine(config, scale=scale).run(itrace)
+            decomposition = result.decomposition
+            if baseline_tp is None:
+                baseline_tp = decomposition.cycles_perfect
+            bars[(workload.name, exp_name)] = Figure3Bar(
+                benchmark=workload.name,
+                experiment=exp_name,
+                decomposition=decomposition,
+                normalized=decomposition.normalized_to(baseline_tp),
+            )
+    return Figure3Result(suite=suite, bars=bars)
+
+
+def render(result: Figure3Result) -> str:
+    lines = [f"Figure 3 ({result.suite}): normalized execution time"]
+    for benchmark in result.benchmarks():
+        lines.append(f"  {benchmark}")
+        for exp_name in EXPERIMENT_NAMES:
+            key = (benchmark, exp_name)
+            if key not in result.bars:
+                continue
+            bar = result.bars[key]
+            processing, latency, bandwidth = bar.normalized
+            total = processing + latency + bandwidth
+            lines.append(
+                f"    {exp_name}: total={total:.2f} "
+                f"[P={processing:.2f} L={latency:.2f} B={bandwidth:.2f}] "
+                f"f_B={bar.f_b:.2f}"
+            )
+    return "\n".join(lines)

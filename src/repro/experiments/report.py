@@ -1,0 +1,48 @@
+"""Rendering of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.runner import TOO_BIG, SweepResult
+from repro.util import format_size, format_table
+
+
+def render_sweep(result: SweepResult, *, decimals: int = 2) -> str:
+    """Render a sweep grid exactly like the paper's Tables 7/8.
+
+    Columns are labelled with paper-scale sizes; "<<<" marks cells where
+    the cache exceeds the benchmark's data set.
+    """
+    headers = ["Trace"] + [format_size(s) for s in result.column_sizes]
+    rows = []
+    for name, cells in zip(result.row_names, result.cells):
+        rendered = [
+            TOO_BIG if value is None else f"{value:.{decimals}f}"
+            for value in cells
+        ]
+        rows.append([name] + rendered)
+    body = format_table(headers, rows)
+    note = (
+        f"{result.title}  (simulated at 1/{round(1 / result.scale)} scale; "
+        "columns labelled at paper scale)"
+    )
+    return f"{note}\n{body}"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    x_format=str,
+    y_format=lambda v: f"{v:.3g}",
+) -> str:
+    """Render named (x, y) series — the textual equivalent of a figure."""
+    lines = [title]
+    for name, points in series.items():
+        rendered = ", ".join(
+            f"{x_format(x)}:{y_format(y)}" for x, y in points
+        )
+        lines.append(f"  {name:<28s} {x_label}: {rendered}")
+    return "\n".join(lines)

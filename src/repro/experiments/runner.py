@@ -1,0 +1,134 @@
+"""Shared experiment machinery: the scaled cache-size axis and sweeps.
+
+The paper sweeps caches from 1 KB to 2 MB against SPEC92 data sets of
+0.04-3.67 MB. This library scales benchmark footprints down by a power of
+two (see DESIGN.md §5) and shifts the cache axis by the same factor, so
+every cache-size/working-set crossover lands in the same table column as
+the paper. :class:`ScaledAxis` owns that bookkeeping: experiments and
+reports always *label* rows with the paper's sizes while *simulating* the
+scaled ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.util import format_size, powers_of_two, require_power_of_two
+from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
+
+#: The paper's Table 7/8 cache-size columns.
+PAPER_CACHE_SIZES = tuple(powers_of_two(1024, 2 * 1024 * 1024))
+
+#: Marker the paper prints when the cache exceeds the benchmark data set.
+TOO_BIG = "<<<"
+
+
+@dataclass(frozen=True, slots=True)
+class ScaledAxis:
+    """Maps between paper-scale cache sizes and simulated sizes."""
+
+    scale: float = DEFAULT_SCALE
+    paper_sizes: tuple[int, ...] = PAPER_CACHE_SIZES
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.scale > 1:
+            raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+        inverse = round(1.0 / self.scale)
+        require_power_of_two(inverse, "1/scale")
+
+    def simulated_size(self, paper_size: int) -> int:
+        """The cache size actually simulated for a paper-scale column."""
+        scaled = int(paper_size * self.scale)
+        if scaled < 64:
+            raise ConfigurationError(
+                f"paper size {format_size(paper_size)} scales below the "
+                f"64B minimum at scale {self.scale:g}"
+            )
+        return scaled
+
+    def label(self, paper_size: int) -> str:
+        """Column label, always in the paper's units."""
+        return format_size(paper_size)
+
+    def is_too_big(self, paper_size: int, workload: SyntheticWorkload) -> bool:
+        """The paper's "<<<" condition: cache larger than the data set.
+
+        Both quantities are compared at simulated scale; because they are
+        scaled by the same factor this matches the paper's paper-scale
+        comparison.
+        """
+        return self.simulated_size(paper_size) > workload.dataset_bytes()
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """A (benchmark x cache size) grid of measured values."""
+
+    title: str
+    row_names: list[str]
+    column_sizes: list[int]  #: paper-scale sizes
+    #: cells[row][col] is a float or None for the paper's "<<<" cells.
+    cells: list[list[float | None]]
+    scale: float = DEFAULT_SCALE
+
+    def row(self, name: str) -> list[float | None]:
+        try:
+            index = self.row_names.index(name)
+        except ValueError as exc:
+            raise ConfigurationError(f"no row named {name!r}") from exc
+        return self.cells[index]
+
+    def cell(self, name: str, paper_size: int) -> float | None:
+        try:
+            column = self.column_sizes.index(paper_size)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"no column for size {format_size(paper_size)}"
+            ) from exc
+        return self.row(name)[column]
+
+    def defined_cells(self, name: str) -> list[tuple[int, float]]:
+        """(paper size, value) pairs for all non-"<<<" cells of a row."""
+        return [
+            (size, value)
+            for size, value in zip(self.column_sizes, self.row(name))
+            if value is not None
+        ]
+
+
+def sweep_grid(
+    title: str,
+    workloads: Sequence[SyntheticWorkload],
+    axis: ScaledAxis,
+    measure: Callable[[SyntheticWorkload, int], float],
+    *,
+    sizes: Iterable[int] | None = None,
+    full_rows: set[str] | frozenset[str] | None = None,
+) -> SweepResult:
+    """Evaluate *measure(workload, simulated_size)* over the full grid.
+
+    Cells where the cache exceeds the (scaled) data set are recorded as
+    ``None`` — the paper's "<<<" — and the measurement is skipped.
+    Workloads named in *full_rows* are measured at every size regardless
+    (the paper itself makes this exception for Swm in Table 8).
+    """
+    size_list = list(sizes) if sizes is not None else list(axis.paper_sizes)
+    full = full_rows or set()
+    rows: list[list[float | None]] = []
+    for workload in workloads:
+        row: list[float | None] = []
+        for paper_size in size_list:
+            if workload.name not in full and axis.is_too_big(paper_size, workload):
+                row.append(None)
+            else:
+                row.append(measure(workload, axis.simulated_size(paper_size)))
+        rows.append(row)
+    return SweepResult(
+        title=title,
+        row_names=[w.name for w in workloads],
+        column_sizes=size_list,
+        cells=rows,
+        scale=axis.scale,
+    )

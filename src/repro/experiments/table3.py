@@ -1,0 +1,80 @@
+"""Table 3: benchmark trace lengths, inputs, and data-set sizes.
+
+Prints the paper's published metadata next to the reproduction-scale
+numbers this library actually generates (reference counts and measured
+footprints), so the scaling policy is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import DEFAULT_SCALE
+from repro.workloads.registry import all_workloads
+
+
+@dataclass(frozen=True, slots=True)
+class Table3Row:
+    benchmark: str
+    suite: str
+    input_description: str
+    paper_refs_millions: float
+    paper_dataset_mb: float
+    generated_refs: int
+    generated_footprint_bytes: int
+
+
+@dataclass(slots=True)
+class Table3Result:
+    rows: list[Table3Row]
+    scale: float
+
+
+def run(*, scale: float = DEFAULT_SCALE, seed: int = 0) -> Table3Result:
+    """Generate every workload once and collect the comparison rows."""
+    rows = []
+    for workload in all_workloads(scale=scale):
+        trace = workload.generate(seed=seed)
+        rows.append(
+            Table3Row(
+                benchmark=workload.name,
+                suite=workload.suite,
+                input_description=workload.paper.input_description,
+                paper_refs_millions=workload.paper.refs_millions,
+                paper_dataset_mb=workload.paper.dataset_mb,
+                generated_refs=len(trace),
+                generated_footprint_bytes=trace.footprint_bytes,
+            )
+        )
+    return Table3Result(rows=rows, scale=scale)
+
+
+def render(result: Table3Result) -> str:
+    from repro.util import format_table
+
+    headers = [
+        "Benchmark",
+        "Suite",
+        "Input",
+        "Paper refs (M)",
+        "Paper data (MB)",
+        "Repro refs",
+        "Repro data (KB)",
+    ]
+    body = [
+        [
+            row.benchmark,
+            row.suite,
+            row.input_description,
+            f"{row.paper_refs_millions:.1f}",
+            f"{row.paper_dataset_mb:.2f}",
+            f"{row.generated_refs:,}",
+            f"{row.generated_footprint_bytes / 1024:.0f}",
+        ]
+        for row in result.rows
+    ]
+    title = (
+        f"Table 3: benchmarks (reproduction at 1/{round(1 / result.scale)} "
+        "footprint scale)"
+    )
+    return f"{title}\n" + format_table(headers, body)

@@ -1,0 +1,105 @@
+"""Table 6: latency vs bandwidth stalls, experiment A vs experiment F.
+
+The paper's crux table: for the non-cache-bound benchmarks, f_L exceeds
+f_B on the baseline machine (A) for every benchmark but one, and the
+relation *reverses* on the aggressively latency-tolerant machine (F) for
+every benchmark but two (Vortex and Perl, whose f_B is still significant).
+Values are percentages of total execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import figure3
+from repro.workloads.base import DEFAULT_SCALE
+
+#: The paper's Table 6 (percent of execution time): benchmark ->
+#: (f_L at A, f_B at A, f_L at F, f_B at F). Perl has no A entry ("---").
+PAPER_TABLE6: dict[str, tuple[float | None, float | None, float, float]] = {
+    "Compress": (46.8, 3.2, 25.6, 31.0),
+    "Su2cor": (24.6, 2.6, 3.5, 16.3),
+    "Tomcatv": (30.0, 2.1, 5.1, 18.4),
+    "Applu": (10.9, 15.0, 4.0, 11.0),
+    "Hydro2D": (29.4, 11.8, 20.6, 24.8),
+    "Perl": (None, None, 37.0, 16.0),
+    "Swim95": (25.2, 6.0, 3.1, 24.1),
+    "Vortex": (40.6, 14.9, 56.1, 16.7),
+}
+
+#: The cache-bound benchmarks the paper excludes from this comparison.
+CACHE_BOUND = ("Espresso", "Eqntott", "Li")
+
+
+@dataclass(frozen=True, slots=True)
+class Table6Row:
+    benchmark: str
+    f_l_a: float
+    f_b_a: float
+    f_l_f: float
+    f_b_f: float
+
+    @property
+    def reverses(self) -> bool:
+        """True when latency dominates at A but bandwidth dominates at F."""
+        return self.f_l_a > self.f_b_a and self.f_b_f > self.f_l_f
+
+
+@dataclass(slots=True)
+class Table6Result:
+    rows: list[Table6Row]
+
+
+def run(
+    *,
+    scale: float = DEFAULT_SCALE,
+    max_refs: int | None = 40_000,
+    seed: int = 0,
+) -> Table6Result:
+    """Measure f_L/f_B under experiments A and F for both suites."""
+    rows: list[Table6Row] = []
+    for suite, names in (
+        ("SPEC92", ("Compress", "Su2cor", "Swm", "Tomcatv")),
+        ("SPEC95", ("Applu", "Hydro2D", "Perl", "Swim95", "Vortex")),
+    ):
+        result = figure3.run(
+            suite,
+            scale=scale,
+            max_refs=max_refs,
+            seed=seed,
+            experiments=("A", "F"),
+            benchmarks=list(names),
+        )
+        for name in names:
+            bar_a = result.bar(name, "A").decomposition
+            bar_f = result.bar(name, "F").decomposition
+            rows.append(
+                Table6Row(
+                    benchmark=name,
+                    f_l_a=100.0 * bar_a.f_l,
+                    f_b_a=100.0 * bar_a.f_b,
+                    f_l_f=100.0 * bar_f.f_l,
+                    f_b_f=100.0 * bar_f.f_b,
+                )
+            )
+    return Table6Result(rows=rows)
+
+
+def render(result: Table6Result) -> str:
+    from repro.util import format_table
+
+    headers = ["Benchmark", "A: f_L%", "A: f_B%", "F: f_L%", "F: f_B%", "reversed"]
+    body = [
+        [
+            row.benchmark,
+            f"{row.f_l_a:.1f}",
+            f"{row.f_b_a:.1f}",
+            f"{row.f_l_f:.1f}",
+            f"{row.f_b_f:.1f}",
+            "yes" if row.reverses else "no",
+        ]
+        for row in result.rows
+    ]
+    return "Table 6: latency vs bandwidth stalls (A vs F)\n" + format_table(
+        headers, body
+    )

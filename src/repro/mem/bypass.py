@@ -1,0 +1,201 @@
+"""Selective cache bypassing (Tyson et al. [45]).
+
+Section 5.3 of the paper: "Tyson et al. recently showed that, for small
+caches, greater selectivity about what is cached can significantly reduce
+memory traffic." The MTC's oracle bypass shows the *potential*; this
+module provides a realizable, online approximation so that potential can
+be compared against a practical mechanism.
+
+The predictor is a table of two-bit saturating reuse counters indexed by
+block address. When a block is evicted without ever having been re-
+referenced, its counter decays toward "don't cache"; re-referenced blocks
+train toward "cache". A miss whose counter says "don't cache" is serviced
+around the cache: the word moves (4 bytes of traffic), nothing is
+allocated, nothing useful is evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheStats
+from repro.mem.policies import make_policy
+from repro.trace.model import MemTrace, WORD_BYTES
+from repro.util import require_power_of_two
+
+
+@dataclass(frozen=True, slots=True)
+class BypassCacheConfig:
+    """A write-back, write-allocate cache with a reuse-based bypass table."""
+
+    size_bytes: int
+    block_bytes: int = 32
+    associativity: int = 1
+    replacement: str = "lru"
+    predictor_entries: int = 4096
+    #: Counter threshold below which a miss bypasses (0 disables bypassing
+    #: entirely, making this an ordinary cache).
+    bypass_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.size_bytes, "cache size")
+        require_power_of_two(self.block_bytes, "block size")
+        require_power_of_two(self.predictor_entries, "predictor size")
+        if self.block_bytes < WORD_BYTES:
+            raise ConfigurationError("block must be at least one word")
+        if self.size_bytes < self.block_bytes:
+            raise ConfigurationError("cache smaller than one block")
+        blocks = self.size_bytes // self.block_bytes
+        if self.associativity <= 0 or blocks % self.associativity:
+            raise ConfigurationError("invalid associativity")
+        if not 0 <= self.bypass_threshold <= 3:
+            raise ConfigurationError("threshold must be a 2-bit value")
+
+    @property
+    def num_sets(self) -> int:
+        return (self.size_bytes // self.block_bytes) // self.associativity
+
+
+@dataclass(slots=True)
+class BypassStats:
+    """Bypass-specific counters, alongside the usual CacheStats."""
+
+    bypassed_reads: int = 0
+    bypassed_writes: int = 0
+
+    @property
+    def bypasses(self) -> int:
+        return self.bypassed_reads + self.bypassed_writes
+
+
+class BypassCache:
+    """Cache with Tyson-style selective allocation."""
+
+    def __init__(self, config: BypassCacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self.bypass_stats = BypassStats()
+        self._policy = make_policy(
+            config.replacement, config.num_sets, config.associativity
+        )
+        # set -> block -> [dirty, reused]
+        self._sets: list[dict[int, list[int]]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        # 2-bit reuse counters, initialised to "probably cache" (2).
+        self._counters = bytearray([2] * config.predictor_entries)
+        self._counter_mask = config.predictor_entries - 1
+        self._time = 0
+
+    def _counter_index(self, block: int) -> int:
+        return (block ^ (block >> 7)) & self._counter_mask
+
+    def access(self, address: int, is_write: bool) -> bool:
+        config = self.config
+        stats = self.stats
+        block = address // config.block_bytes
+        set_index = block % config.num_sets
+        time = self._time
+        self._time += 1
+
+        stats.accesses += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        lines = self._sets[set_index]
+        line = lines.get(block)
+        if line is not None:
+            if is_write:
+                stats.write_hits += 1
+                line[0] = 1
+            else:
+                stats.read_hits += 1
+            line[1] = 1  # reused
+            self._policy.on_access(set_index, block, time)
+            return True
+
+        # ---- miss: consult the reuse predictor ----
+        counter_index = self._counter_index(block)
+        if (
+            config.bypass_threshold > 0
+            and self._counters[counter_index] < config.bypass_threshold
+        ):
+            # Bypass: move only the requested word; train back up slowly
+            # so a block that becomes hot gets another chance.
+            if is_write:
+                stats.writethrough_bytes += WORD_BYTES
+                self.bypass_stats.bypassed_writes += 1
+            else:
+                stats.fetch_bytes += WORD_BYTES
+                self.bypass_stats.bypassed_reads += 1
+            if self._counters[counter_index] < 3:
+                self._counters[counter_index] += 1
+            return False
+
+        # Allocate.
+        if len(lines) >= config.associativity:
+            victim = self._policy.choose_victim(set_index, time)
+            victim_line = lines.pop(victim)
+            if victim_line[0]:
+                stats.writeback_bytes += config.block_bytes
+            self._policy.on_evict(set_index, victim)
+            # Train the predictor on the victim's observed reuse.
+            victim_counter = self._counter_index(victim)
+            if victim_line[1]:
+                if self._counters[victim_counter] < 3:
+                    self._counters[victim_counter] += 1
+            else:
+                if self._counters[victim_counter] > 0:
+                    self._counters[victim_counter] -= 1
+        stats.fetch_bytes += config.block_bytes
+        lines[block] = [1 if is_write else 0, 0]
+        self._policy.on_fill(set_index, block, time)
+        return False
+
+    def flush(self) -> int:
+        flushed = 0
+        for set_index, lines in enumerate(self._sets):
+            for block, line in list(lines.items()):
+                if line[0]:
+                    flushed += self.config.block_bytes
+                self._policy.on_evict(set_index, block)
+            lines.clear()
+        self.stats.flush_writeback_bytes += flushed
+        return flushed
+
+    def simulate(self, trace: MemTrace, *, flush: bool = True) -> CacheStats:
+        access = self.access
+        for address, write in zip(
+            trace.addresses.tolist(), trace.is_write.tolist()
+        ):
+            access(address, write)
+        if flush:
+            self.flush()
+        return self.stats
+
+
+def bypass_benefit(
+    trace: MemTrace, size_bytes: int, *, block_bytes: int = 32
+) -> tuple[int, int, float]:
+    """(plain traffic, bypassing traffic, relative saving) for one trace.
+
+    Compares an ordinary cache against the same geometry with the reuse
+    predictor enabled — the realizable fraction of the MTC's bypass gain.
+    """
+    plain = BypassCache(
+        BypassCacheConfig(
+            size_bytes=size_bytes, block_bytes=block_bytes, bypass_threshold=0
+        )
+    ).simulate(trace)
+    selective = BypassCache(
+        BypassCacheConfig(
+            size_bytes=size_bytes, block_bytes=block_bytes, bypass_threshold=1
+        )
+    ).simulate(trace)
+    base = plain.total_traffic_bytes
+    improved = selective.total_traffic_bytes
+    saving = (base - improved) / base if base else 0.0
+    return base, improved, saving

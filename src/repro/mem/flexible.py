@@ -1,0 +1,367 @@
+"""Flexible caches: software-controlled transfer sizes (Section 5.3).
+
+The paper's concrete proposal: "machines of the future will likely have
+programmable mechanisms to support variable block sizes. Allowing
+software-controlled transfer sizes will permit each application to
+optimize its traffic based on its reference patterns — large transfers to
+minimize request overhead if there is sufficient spatial locality, and
+small transfers in the absence of spatial locality."
+
+This module implements that mechanism and the software side that drives
+it:
+
+* :class:`FlexibleCache` — a sector cache whose *transfer size* is chosen
+  per address region from a software-programmed region table (the
+  "compiler-managed" control the paper sketches). Tags are kept at a
+  fixed sector granularity; a miss fetches the region's configured number
+  of subblocks around the requested word.
+* :func:`tune_regions` — the "compiler": profiles a training trace,
+  estimates each region's spatial locality, and programs the region
+  table (large transfers for streaming regions, word transfers for
+  pointer/hash regions).
+* :func:`flexible_gain` — end-to-end comparison against the best *fixed*
+  block size, quantifying what the proposed mechanism buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig, CacheStats
+from repro.mem.policies import make_policy
+from repro.trace.model import MemTrace, WORD_BYTES
+from repro.util import require_power_of_two
+
+
+@dataclass(frozen=True, slots=True)
+class RegionPolicy:
+    """One entry of the software-programmed region table."""
+
+    start: int
+    end: int            #: exclusive byte bound
+    transfer_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(f"empty region [{self.start}, {self.end})")
+        require_power_of_two(self.transfer_bytes, "transfer size")
+        if self.transfer_bytes < WORD_BYTES:
+            raise ConfigurationError("transfer must be at least one word")
+
+
+@dataclass(frozen=True, slots=True)
+class FlexibleCacheConfig:
+    """Geometry of the flexible cache.
+
+    Tag granularity (``sector_bytes``) and transfer size are decoupled:
+    a region programmed with a transfer larger than the sector fetches
+    several consecutive sectors in one bus transaction, so fine tags
+    (capacity for scattered words) coexist with large streaming
+    transfers.
+    """
+
+    size_bytes: int
+    sector_bytes: int = 16       #: tag granularity
+    associativity: int = 2
+    default_transfer_bytes: int = 32
+    max_transfer_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.size_bytes, "cache size")
+        require_power_of_two(self.sector_bytes, "sector size")
+        require_power_of_two(self.default_transfer_bytes, "default transfer")
+        require_power_of_two(self.max_transfer_bytes, "max transfer")
+        if self.default_transfer_bytes > self.max_transfer_bytes:
+            raise ConfigurationError("default transfer exceeds the maximum")
+        sectors = self.size_bytes // self.sector_bytes
+        if sectors == 0 or self.associativity <= 0 or sectors % self.associativity:
+            raise ConfigurationError("invalid flexible-cache geometry")
+
+    @property
+    def num_sets(self) -> int:
+        return (self.size_bytes // self.sector_bytes) // self.associativity
+
+
+class FlexibleCache:
+    """Sector cache with per-region software-selected transfer sizes.
+
+    Valid/dirty state is tracked per word within the sector; a miss
+    fetches the region's transfer unit (aligned) around the missing word,
+    so small-transfer regions never move unused words while streaming
+    regions amortize whole sectors. Write misses allocate without
+    fetching (write-validate) — the natural companion policy, since a
+    software-managed cache knows the store needn't read first.
+    """
+
+    def __init__(
+        self,
+        config: FlexibleCacheConfig,
+        regions: list[RegionPolicy] | None = None,
+    ) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._regions = sorted(regions or [], key=lambda r: r.start)
+        for earlier, later in zip(self._regions, self._regions[1:]):
+            if later.start < earlier.end:
+                raise ConfigurationError(
+                    f"overlapping regions at {later.start:#x}"
+                )
+        self._policy = make_policy(
+            "lru", config.num_sets, config.associativity
+        )
+        self._sets: list[dict[int, list[int]]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._time = 0
+        self._region_starts = [r.start for r in self._regions]
+        #: Bus transactions issued (fetches, write-backs, flushes): the
+        #: request-overhead side of the paper's transfer-size trade-off.
+        self.transactions = 0
+
+    def transfer_bytes_for(self, address: int) -> int:
+        """The programmed transfer size for *address*."""
+        import bisect
+
+        index = bisect.bisect_right(self._region_starts, address) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if address < region.end:
+                return min(region.transfer_bytes, self.config.max_transfer_bytes)
+        return self.config.default_transfer_bytes
+
+    def access(self, address: int, is_write: bool) -> bool:
+        config = self.config
+        stats = self.stats
+        sector = address // config.sector_bytes
+        set_index = sector % config.num_sets
+        word_bit = 1 << ((address % config.sector_bytes) // WORD_BYTES)
+        time = self._time
+        self._time += 1
+
+        stats.accesses += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        lines = self._sets[set_index]
+        line = lines.get(sector)
+        if line is not None and line[0] & word_bit:
+            if is_write:
+                stats.write_hits += 1
+                line[1] |= word_bit
+            else:
+                stats.read_hits += 1
+            self._policy.on_access(set_index, sector, time)
+            return True
+
+        # miss (sector absent or word invalid)
+        if is_write:
+            # write-validate: allocate the sector, claim only the word
+            line = self._ensure_sector(sector, time)
+            line[0] |= word_bit
+            line[1] |= word_bit
+            return False
+
+        # read miss: fetch the region's transfer window — possibly
+        # several consecutive sectors — in one bus transaction.
+        transfer = self.transfer_bytes_for(address)
+        window_start = (address // transfer) * transfer
+        fetched_words = 0
+        full_sector = (1 << (config.sector_bytes // WORD_BYTES)) - 1
+        for sector_addr in range(
+            window_start, window_start + max(transfer, config.sector_bytes),
+            config.sector_bytes,
+        ):
+            target_sector = sector_addr // config.sector_bytes
+            target_line = self._ensure_sector(target_sector, time)
+            if transfer >= config.sector_bytes:
+                missing = full_sector & ~target_line[0]
+                target_line[0] = full_sector
+            else:
+                words = transfer // WORD_BYTES
+                offset_words = (
+                    (window_start % config.sector_bytes) // WORD_BYTES
+                )
+                mask = ((1 << words) - 1) << offset_words
+                missing = mask & ~target_line[0]
+                target_line[0] |= mask
+            fetched_words += missing.bit_count()
+        stats.fetch_bytes += fetched_words * WORD_BYTES
+        self.transactions += 1
+        return False
+
+    def _ensure_sector(self, sector: int, time: int) -> list[int]:
+        """Return the line for *sector*, allocating (and evicting) if needed."""
+        config = self.config
+        set_index = sector % config.num_sets
+        lines = self._sets[set_index]
+        line = lines.get(sector)
+        if line is not None:
+            self._policy.on_access(set_index, sector, time)
+            return line
+        if len(lines) >= config.associativity:
+            victim = self._policy.choose_victim(set_index, time)
+            victim_line = lines.pop(victim)
+            if victim_line[1]:
+                self.stats.writeback_bytes += (
+                    victim_line[1].bit_count() * WORD_BYTES
+                )
+                self.transactions += 1
+            self._policy.on_evict(set_index, victim)
+        line = [0, 0]
+        lines[sector] = line
+        self._policy.on_fill(set_index, sector, time)
+        return line
+
+    def flush(self) -> int:
+        flushed = 0
+        for set_index, lines in enumerate(self._sets):
+            for sector, line in list(lines.items()):
+                if line[1]:
+                    flushed += line[1].bit_count() * WORD_BYTES
+                    self.transactions += 1
+                self._policy.on_evict(set_index, sector)
+            lines.clear()
+        self.stats.flush_writeback_bytes += flushed
+        return flushed
+
+    def simulate(self, trace: MemTrace, *, flush: bool = True) -> CacheStats:
+        access = self.access
+        for address, write in zip(
+            trace.addresses.tolist(), trace.is_write.tolist()
+        ):
+            access(address, write)
+        if flush:
+            self.flush()
+        return self.stats
+
+
+def tune_regions(
+    trace: MemTrace,
+    *,
+    region_bytes: int = 64 * 1024,
+    small_transfer: int = WORD_BYTES,
+    large_transfer: int = 64,
+    utilization_threshold: float = 0.55,
+) -> list[RegionPolicy]:
+    """The software half: profile a trace and program the region table.
+
+    For each *region_bytes*-sized address region, measures *spatial
+    utilization*: of the large-transfer-sized blocks the region's
+    references touch, what fraction of their words are ever used? Dense
+    regions (streams, grids — utilization near 1) get *large_transfer*;
+    scattered regions (hash tables, pointer heaps) get *small_transfer*,
+    because most of a large transfer would move unused words.
+    """
+    require_power_of_two(region_bytes, "region size")
+    if not len(trace):
+        return []
+    addresses = trace.addresses
+    regions = addresses // region_bytes
+    policies: list[RegionPolicy] = []
+    words_per_block = large_transfer // WORD_BYTES
+    for region in np.unique(regions):
+        in_region = addresses[regions == region]
+        touched_words = np.unique(in_region // WORD_BYTES).size
+        touched_blocks = np.unique(in_region // large_transfer).size
+        utilization = touched_words / (touched_blocks * words_per_block)
+        transfer = (
+            large_transfer
+            if utilization >= utilization_threshold
+            else small_transfer
+        )
+        policies.append(
+            RegionPolicy(
+                start=int(region) * region_bytes,
+                end=(int(region) + 1) * region_bytes,
+                transfer_bytes=transfer,
+            )
+        )
+    return policies
+
+
+@dataclass(frozen=True, slots=True)
+class FlexibleGain:
+    """Fixed-best vs flexible comparison for one trace.
+
+    Traffic totals include per-transaction request overhead — the paper's
+    stated rationale for large transfers ("large transfers to minimize
+    request overhead") and the quantity its Table 7 deliberately excludes.
+    """
+
+    best_fixed_block: int
+    best_fixed_traffic: int
+    flexible_traffic: int
+
+    @property
+    def saving(self) -> float:
+        if not self.best_fixed_traffic:
+            return 0.0
+        return 1.0 - self.flexible_traffic / self.best_fixed_traffic
+
+
+#: Address/command bytes charged per bus transaction.
+REQUEST_OVERHEAD_BYTES = 8
+
+
+def flexible_gain(
+    trace: MemTrace,
+    *,
+    size_bytes: int = 16 * 1024,
+    blocks: tuple[int, ...] = (4, 8, 16, 32, 64),
+    sector_bytes: int = 16,
+) -> FlexibleGain:
+    """Compare the tuned flexible cache against every fixed block size.
+
+    The flexible cache is trained and evaluated on the same trace (the
+    paper imagines per-application tuning, and the benchmarks are
+    deterministic); the fixed competitor gets the *best* block size in
+    hindsight, so any positive saving is a genuine win for flexibility.
+    Both sides pay :data:`REQUEST_OVERHEAD_BYTES` per bus transaction.
+    """
+    best_block = blocks[0]
+    best_traffic: int | None = None
+    for block in blocks:
+        config = CacheConfig(
+            size_bytes=size_bytes,
+            block_bytes=block,
+            associativity=min(2, size_bytes // block),
+        )
+        stats = Cache(config).simulate(trace)
+        transactions = (
+            stats.fetch_bytes
+            + stats.writeback_bytes
+            + stats.flush_writeback_bytes
+        ) // block + stats.writethrough_bytes // WORD_BYTES
+        traffic = (
+            stats.total_traffic_bytes
+            + transactions * REQUEST_OVERHEAD_BYTES
+        )
+        if best_traffic is None or traffic < best_traffic:
+            best_traffic = traffic
+            best_block = block
+    assert best_traffic is not None
+
+    regions = tune_regions(trace)
+    flexible = FlexibleCache(
+        FlexibleCacheConfig(
+            size_bytes=size_bytes,
+            sector_bytes=sector_bytes,
+            associativity=2,
+        ),
+        regions,
+    )
+    stats = flexible.simulate(trace)
+    flexible_traffic = (
+        stats.total_traffic_bytes
+        + flexible.transactions * REQUEST_OVERHEAD_BYTES
+    )
+    return FlexibleGain(
+        best_fixed_block=best_block,
+        best_fixed_traffic=best_traffic,
+        flexible_traffic=flexible_traffic,
+    )

@@ -1,0 +1,183 @@
+"""Smart memory: offloading computation to the memory system (Section 6).
+
+The paper: "A more radical technique ... is to begin building
+computational ability into the memory system. The processor would then be
+able to issue primitives more powerful than simple reads or writes ...
+The memory system would perform the computation locally and return the
+result. The idea of 'smart memory' is certainly not new, but we may be
+entering an era when it becomes cost-effective."
+
+What an address trace *can* quantify is the pin-traffic side of that
+trade: a computation that streams a region through the processor moves
+the whole region across the pins (possibly repeatedly); offloaded, it
+moves a command and a result. This module:
+
+* attributes a trace's off-chip traffic to address regions
+  (:func:`traffic_by_region`, via the cache's traffic listener);
+* suggests offload candidates — streamed, read-mostly regions whose
+  values plausibly feed reductions (:func:`offload_candidates`);
+* computes the pin-traffic saving of offloading a declared set of regions
+  (:func:`offload_saving`) — the caller (playing the compiler) decides
+  what is semantically offloadable, exactly as the paper imagines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.trace.model import MemTrace
+
+#: Bytes for one offload command and one returned result (a method
+#: invocation with arguments, as the paper puts it).
+COMMAND_BYTES = 16
+RESULT_BYTES = 16
+
+
+@dataclass(frozen=True, slots=True)
+class RegionTraffic:
+    start: int
+    end: int
+    traffic_bytes: int
+    references: int
+    read_fraction: float
+
+
+def traffic_by_region(
+    trace: MemTrace,
+    *,
+    cache_config: CacheConfig | None = None,
+    region_bytes: int = 64 * 1024,
+) -> list[RegionTraffic]:
+    """Off-chip traffic attributed to each address region.
+
+    Runs the trace through the cache once with a listener that buckets
+    every fetch/write-back by the region of its block address.
+    """
+    if region_bytes <= 0:
+        raise ConfigurationError("region_bytes must be positive")
+    if cache_config is None:
+        cache_config = CacheConfig(size_bytes=16 * 1024, block_bytes=32)
+
+    traffic: dict[int, int] = {}
+
+    def listen(kind: str, address: int, nbytes: int) -> None:
+        region = address // region_bytes
+        traffic[region] = traffic.get(region, 0) + nbytes
+
+    Cache(cache_config, listener=listen).simulate(trace)
+
+    regions = trace.addresses // region_bytes
+    results = []
+    for region in np.unique(regions):
+        mask = regions == region
+        reads = int((~trace.is_write[mask]).sum())
+        count = int(mask.sum())
+        results.append(
+            RegionTraffic(
+                start=int(region) * region_bytes,
+                end=(int(region) + 1) * region_bytes,
+                traffic_bytes=traffic.get(int(region), 0),
+                references=count,
+                read_fraction=reads / count if count else 0.0,
+            )
+        )
+    return results
+
+
+def offload_candidates(
+    trace: MemTrace,
+    *,
+    cache_config: CacheConfig | None = None,
+    region_bytes: int = 64 * 1024,
+    min_read_fraction: float = 0.8,
+    min_traffic_share: float = 0.05,
+    min_traffic_ratio: float = 0.1,
+) -> list[RegionTraffic]:
+    """Regions worth offloading: read-mostly and traffic-heavy.
+
+    A region qualifies when it is consumed (not produced) by the
+    processor, accounts for a meaningful share of the total off-chip
+    traffic, and actually misses the cache (its traffic is a meaningful
+    fraction of its own requests) — the profile of a reduction/scan input
+    that does not fit on chip.
+    """
+    regions = traffic_by_region(
+        trace, cache_config=cache_config, region_bytes=region_bytes
+    )
+    total = sum(r.traffic_bytes for r in regions)
+    if not total:
+        return []
+    return [
+        r
+        for r in regions
+        if r.read_fraction >= min_read_fraction
+        and r.traffic_bytes / total >= min_traffic_share
+        and r.traffic_bytes >= min_traffic_ratio * r.references * 4
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class OffloadReport:
+    total_traffic_bytes: int
+    offloaded_traffic_bytes: int
+    commands_issued: int
+
+    @property
+    def smart_traffic_bytes(self) -> int:
+        """Traffic with the offloaded regions served by smart memory."""
+        return (
+            self.total_traffic_bytes
+            - self.offloaded_traffic_bytes
+            + self.commands_issued * (COMMAND_BYTES + RESULT_BYTES)
+        )
+
+    @property
+    def saving(self) -> float:
+        if not self.total_traffic_bytes:
+            return 0.0
+        return 1.0 - self.smart_traffic_bytes / self.total_traffic_bytes
+
+
+def offload_saving(
+    trace: MemTrace,
+    offload_regions: list[tuple[int, int]],
+    *,
+    cache_config: CacheConfig | None = None,
+    commands_per_region: int = 1,
+) -> OffloadReport:
+    """Pin-traffic saving when *offload_regions* run memory-side.
+
+    The caller asserts (compiler knowledge) that the computation over
+    each listed ``(start, end)`` region can run in the memory system with
+    *commands_per_region* command/result exchanges. The region's entire
+    off-chip traffic is then replaced by those exchanges.
+    """
+    if commands_per_region <= 0:
+        raise ConfigurationError("commands_per_region must be positive")
+    for start, end in offload_regions:
+        if end <= start:
+            raise ConfigurationError(f"empty offload region [{start}, {end})")
+    if cache_config is None:
+        cache_config = CacheConfig(size_bytes=16 * 1024, block_bytes=32)
+
+    total = 0
+    offloaded = 0
+
+    def listen(kind: str, address: int, nbytes: int) -> None:
+        nonlocal total, offloaded
+        total += nbytes
+        for start, end in offload_regions:
+            if start <= address < end:
+                offloaded += nbytes
+                return
+
+    Cache(cache_config, listener=listen).simulate(trace)
+    return OffloadReport(
+        total_traffic_bytes=total,
+        offloaded_traffic_bytes=offloaded,
+        commands_issued=commands_per_region * len(offload_regions),
+    )

@@ -1,0 +1,313 @@
+"""Timing memory system: L1 + L2 + DRAM with buses, MSHRs, prefetch.
+
+This is the memory half of the paper's Section 3 simulations (Table 4
+parameters): a one-cycle L1, an off-chip L2 reached over a 128-bit bus
+running at a fraction of the processor clock, and a 90 ns main memory with
+infinite banks behind a 64-bit bus. Lockup-free caches are modelled with a
+finite MSHR file; experiments E/F add tagged prefetch [17].
+
+Three modes implement the execution-time decomposition:
+
+* ``full``     — finite buses (occupancy + queueing) and finite MSHRs;
+* ``infinite`` — same latencies but infinitely wide paths: transfers are
+  instantaneous and nothing queues (the paper's T_I);
+* ``perfect``  — every access completes in one cycle (T_P).
+
+All times are in processor cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.trace.model import WORD_BYTES
+
+
+class MemoryMode(enum.Enum):
+    FULL = "full"
+    INFINITE = "infinite"
+    PERFECT = "perfect"
+
+
+@dataclass(frozen=True, slots=True)
+class BusSpec:
+    """A data bus between two hierarchy levels."""
+
+    width_bytes: int
+    #: Processor cycles per bus cycle (the paper's bus/proc clock ratio
+    #: denominator: 3 for SPEC92, 4 for SPEC95).
+    proc_cycles_per_beat: int
+    #: Extra beats per transaction (address phase / turnaround; the paper
+    #: multiplexes data and address on the main-memory bus).
+    overhead_beats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width_bytes <= 0 or self.proc_cycles_per_beat <= 0:
+            raise ConfigurationError("bus width and clock ratio must be positive")
+        if self.overhead_beats < 0:
+            raise ConfigurationError("overhead beats cannot be negative")
+
+    def beats(self, nbytes: int) -> int:
+        return math.ceil(nbytes / self.width_bytes)
+
+    def occupancy_cycles(self, nbytes: int) -> int:
+        return (self.beats(nbytes) + self.overhead_beats) * self.proc_cycles_per_beat
+
+
+class TimingBus:
+    """A bus with an earliest-free cursor (FCFS occupancy model)."""
+
+    __slots__ = ("spec", "infinite", "next_free", "busy_cycles")
+
+    def __init__(self, spec: BusSpec, *, infinite: bool) -> None:
+        self.spec = spec
+        self.infinite = infinite
+        self.next_free = 0
+        self.busy_cycles = 0
+
+    def transfer(self, request_time: int, nbytes: int) -> tuple[int, int]:
+        """Schedule a transfer; returns (first_beat_done, all_done).
+
+        ``first_beat_done`` is when the critical word is available (the
+        paper assumes critical-word-first); ``all_done`` is when the bus
+        frees. In infinite mode both equal *request_time* — an infinitely
+        wide path moves any block instantaneously and never queues.
+        """
+        if self.infinite:
+            # Infinitely wide: the whole block moves in one bus beat and
+            # the bus never queues.
+            done = request_time + self.spec.proc_cycles_per_beat
+            return done, done
+        start = max(request_time, self.next_free)
+        duration = self.spec.occupancy_cycles(nbytes)
+        end = start + duration
+        self.next_free = end
+        self.busy_cycles += duration
+        return start + self.spec.proc_cycles_per_beat, end
+
+
+@dataclass(frozen=True, slots=True)
+class TimingMemoryParams:
+    """Table 4 parameters, expressed in processor cycles."""
+
+    l1_config: CacheConfig
+    l2_config: CacheConfig
+    l1_l2_bus: BusSpec
+    l2_mem_bus: BusSpec
+    l1_hit_cycles: int = 1
+    l2_access_cycles: int = 9     #: 30 ns at 300 MHz
+    memory_access_cycles: int = 27  #: 90 ns at 300 MHz
+    mshr_count: int = 1           #: 1 = blocking (hit-under-miss only)
+    tagged_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.l1_hit_cycles <= 0:
+            raise ConfigurationError("L1 hit time must be positive")
+        if self.mshr_count <= 0:
+            raise ConfigurationError("need at least one MSHR")
+
+
+@dataclass(slots=True)
+class TimingMemoryStats:
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    mshr_merges: int = 0
+    mshr_stall_cycles: int = 0
+    prefetches_issued: int = 0
+    prefetches_dropped: int = 0
+    l1_l2_traffic_bytes: int = 0
+    l2_mem_traffic_bytes: int = 0
+
+
+class TimingMemory:
+    """The full memory system as seen by one core.
+
+    The functional cache state (what hits, what gets evicted) is identical
+    across the three modes — only timing differs — so T_P, T_I and T are
+    measured over the same miss stream, as the decomposition requires.
+    """
+
+    def __init__(self, params: TimingMemoryParams, mode: MemoryMode) -> None:
+        self.params = params
+        self.mode = mode
+        self.stats = TimingMemoryStats()
+        infinite = mode is not MemoryMode.FULL
+        self._l1 = Cache(params.l1_config, listener=self._on_l1_event)
+        self._l2 = Cache(params.l2_config, listener=self._on_l2_event)
+        self._l1_l2 = TimingBus(params.l1_l2_bus, infinite=infinite)
+        self._l2_mem = TimingBus(params.l2_mem_bus, infinite=infinite)
+        self._now = 0
+        self._in_l1_writeback = False
+        #: Outstanding fills: block -> (fill_time, mshr_release_time).
+        self._outstanding: dict[int, tuple[int, int]] = {}
+        #: Release times of allocated MSHRs (kept sorted lazily).
+        self._mshr_release: list[int] = []
+        #: Tag bits for the tagged prefetcher: prefetched, not yet demanded.
+        self._prefetch_tags: set[int] = set()
+
+    # -- traffic listeners -------------------------------------------------------------
+
+    def _on_l1_event(self, kind: str, address: int, nbytes: int) -> None:
+        """Dirty L1 evictions go down to L2: functional write + bus time."""
+        if kind not in ("writeback", "flush"):
+            return
+        self.stats.l1_l2_traffic_bytes += nbytes
+        if self.mode is MemoryMode.FULL:
+            self._l1_l2.transfer(self._now, nbytes)
+        self._in_l1_writeback = True
+        try:
+            self._l2.access(address, True)
+        finally:
+            self._in_l1_writeback = False
+
+    def _on_l2_event(self, kind: str, address: int, nbytes: int) -> None:
+        """L2 write-backs — and fetches forced by write-allocating an L1
+        write-back — occupy the memory bus."""
+        if kind in ("writeback", "flush") or (
+            kind == "fetch" and self._in_l1_writeback
+        ):
+            self.stats.l2_mem_traffic_bytes += nbytes
+            if self.mode is MemoryMode.FULL:
+                self._l2_mem.transfer(self._now, nbytes)
+
+    # -- public API -------------------------------------------------------------------
+
+    def access(self, time: int, address: int, is_write: bool) -> int:
+        """Process one data access; returns the completion cycle.
+
+        Stores complete in one cycle regardless (the paper assumes an
+        infinitely deep write buffer) but still move their blocks and
+        consume bus bandwidth. Loads complete when the critical word
+        arrives.
+        """
+        self.stats.accesses += 1
+        if self.mode is MemoryMode.PERFECT:
+            return time + 1
+
+        self._now = time
+        params = self.params
+        block = address // params.l1_config.block_bytes
+        l1_hit = self._l1.contains(address)
+        if l1_hit:
+            self._touch_l1(address, is_write)
+            completion = time + params.l1_hit_cycles
+            pending = self._outstanding.get(block)
+            if pending is not None and pending[0] > time and not is_write:
+                # The block's fill is still in flight: this reference
+                # merges into the outstanding miss and waits for the data.
+                self.stats.mshr_merges += 1
+                completion = max(completion, pending[0])
+            if params.tagged_prefetch and block in self._prefetch_tags:
+                # First demand reference to a prefetched block: tag fires.
+                self._prefetch_tags.discard(block)
+                self._issue_prefetch(time, (block + 1) * params.l1_config.block_bytes)
+            return completion
+
+        # ---- L1 miss ----
+        self.stats.l1_misses += 1
+
+        start = self._allocate_mshr(time)
+        fill_time, release = self._fetch_into_l1(start, address)
+        self._register_mshr(block, fill_time, release)
+        self._touch_l1_fill(address, is_write)
+        if params.tagged_prefetch:
+            self._issue_prefetch(time, (block + 1) * params.l1_config.block_bytes)
+        if is_write:
+            return time + params.l1_hit_cycles
+        return max(time + params.l1_hit_cycles, fill_time)
+
+    def busy_fraction(self, total_cycles: int) -> tuple[float, float]:
+        """(L1/L2, L2/mem) bus utilisation over *total_cycles*."""
+        if total_cycles <= 0:
+            return 0.0, 0.0
+        return (
+            self._l1_l2.busy_cycles / total_cycles,
+            self._l2_mem.busy_cycles / total_cycles,
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _touch_l1(self, address: int, is_write: bool) -> None:
+        self._l1.access(address, is_write)
+
+    def _touch_l1_fill(self, address: int, is_write: bool) -> None:
+        """Update functional L1 state for a miss (fills the block)."""
+        self._l1.access(address, is_write)
+
+    def _allocate_mshr(self, time: int) -> int:
+        """Earliest time an MSHR is available at or after *time*.
+
+        MSHR limits apply in both the full and the infinite-width modes:
+        a blocking cache is a latency property of the design, not a path-
+        width limit, so the paper's T_I keeps it (only the buses widen).
+        """
+        releases = self._mshr_release
+        # Drop entries already free.
+        releases[:] = [r for r in releases if r > time]
+        if len(releases) < self.params.mshr_count:
+            return time
+        earliest = min(releases)
+        self.stats.mshr_stall_cycles += earliest - time
+        return earliest
+
+    def _register_mshr(self, block: int, fill_time: int, release: int) -> None:
+        self._outstanding[block] = (fill_time, release)
+        self._mshr_release.append(release)
+        # Retire completed outstanding entries opportunistically.
+        if len(self._outstanding) > 4 * self.params.mshr_count + 8:
+            horizon = fill_time
+            self._outstanding = {
+                b: (f, r)
+                for b, (f, r) in self._outstanding.items()
+                if r > horizon - 1
+            }
+
+    def _fetch_into_l1(self, time: int, address: int) -> tuple[int, int]:
+        """Move the block containing *address* into L1; returns
+        (critical-word time, MSHR release time)."""
+        params = self.params
+        l1_block = params.l1_config.block_bytes
+        block_addr = (address // l1_block) * l1_block
+
+        l2_ready = time + params.l2_access_cycles
+        if self._l2.contains(block_addr):
+            self._l2.access(block_addr, False)
+            data_at_l2 = l2_ready
+        else:
+            self.stats.l2_misses += 1
+            self._l2.access(block_addr, False)
+            l2_block = params.l2_config.block_bytes
+            mem_done_first, mem_done_all = self._l2_mem.transfer(
+                l2_ready + params.memory_access_cycles, l2_block
+            )
+            self.stats.l2_mem_traffic_bytes += l2_block
+            data_at_l2 = mem_done_first
+            del mem_done_all
+
+        first, all_done = self._l1_l2.transfer(data_at_l2, l1_block)
+        self.stats.l1_l2_traffic_bytes += l1_block
+        return first, all_done
+
+    def _issue_prefetch(self, time: int, address: int) -> None:
+        """Tagged prefetch of the next sequential block (best effort)."""
+        params = self.params
+        block = address // params.l1_config.block_bytes
+        if self._l1.contains(address) or block in self._outstanding:
+            return
+        releases = [r for r in self._mshr_release if r > time]
+        if len(releases) >= params.mshr_count:
+            # No MSHR to spare: drop rather than stall the processor.
+            self.stats.prefetches_dropped += 1
+            return
+        self.stats.prefetches_issued += 1
+        fill_time, release = self._fetch_into_l1(time, address)
+        self._register_mshr(block, fill_time, release)
+        self._l1.access(address, False)
+        self._prefetch_tags.add(block)
+        if len(self._prefetch_tags) > 4096:
+            self._prefetch_tags.clear()

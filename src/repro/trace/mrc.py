@@ -1,0 +1,115 @@
+"""Miss-ratio curves via Mattson's stack algorithm.
+
+The classic single-pass technique behind tables like the paper's Table 7:
+because LRU has the *stack inclusion* property, one pass that records each
+reference's reuse distance (number of distinct blocks since the previous
+touch) yields the miss count of **every** fully-associative LRU cache size
+at once — a reference misses in a cache of C blocks iff its reuse distance
+is at least C (or it is a cold miss).
+
+:func:`miss_ratio_curve` computes the curve; :func:`predicted_misses`
+gives the exact fully-associative LRU miss count for one size, which the
+test suite cross-validates against the event-driven simulator — two
+independent implementations agreeing on every trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.model import MemTrace
+from repro.trace.stats import reuse_distances
+
+
+@dataclass(frozen=True, slots=True)
+class MissRatioCurve:
+    """Miss ratios of fully-associative LRU caches of every size."""
+
+    block_bytes: int
+    total_references: int
+    cold_misses: int
+    #: histogram[d] = number of references with reuse distance d.
+    distance_histogram: np.ndarray
+
+    def misses_at(self, capacity_blocks: int) -> int:
+        """Exact LRU miss count for a cache of *capacity_blocks*."""
+        if capacity_blocks <= 0:
+            raise TraceError("capacity must be positive")
+        reuse_hits = int(self.distance_histogram[:capacity_blocks].sum())
+        return self.total_references - reuse_hits
+
+    def miss_ratio_at(self, capacity_blocks: int) -> float:
+        if not self.total_references:
+            return 0.0
+        return self.misses_at(capacity_blocks) / self.total_references
+
+    def curve(self, capacities: list[int]) -> list[tuple[int, float]]:
+        """(capacity, miss ratio) points for the given capacities."""
+        return [(c, self.miss_ratio_at(c)) for c in capacities]
+
+    @property
+    def compulsory_miss_ratio(self) -> float:
+        """The floor no capacity can beat (cold misses)."""
+        if not self.total_references:
+            return 0.0
+        return self.cold_misses / self.total_references
+
+
+def miss_ratio_curve(trace: MemTrace, block_bytes: int = 32) -> MissRatioCurve:
+    """One-pass Mattson analysis of *trace* at *block_bytes* granularity."""
+    if block_bytes <= 0:
+        raise TraceError("block_bytes must be positive")
+    distances = reuse_distances(trace, block_bytes=block_bytes)
+    total = len(trace)
+    cold = total - distances.size
+    if distances.size:
+        histogram = np.bincount(distances)
+    else:
+        histogram = np.zeros(1, dtype=np.int64)
+    return MissRatioCurve(
+        block_bytes=block_bytes,
+        total_references=total,
+        cold_misses=cold,
+        distance_histogram=histogram,
+    )
+
+
+def predicted_misses(
+    trace: MemTrace, capacity_blocks: int, block_bytes: int = 32
+) -> int:
+    """Fully-associative LRU miss count, from the stack algorithm.
+
+    Must agree exactly with simulating a fully-associative LRU cache of
+    ``capacity_blocks * block_bytes`` bytes — the test suite asserts this
+    equivalence on random traces (stack inclusion is easy to get subtly
+    wrong in either implementation; two independent paths catching each
+    other is the point).
+    """
+    return miss_ratio_curve(trace, block_bytes).misses_at(capacity_blocks)
+
+
+def working_set_sizes(
+    trace: MemTrace,
+    *,
+    block_bytes: int = 32,
+    knee_fraction: float = 0.9,
+) -> list[int]:
+    """Capacities at which the miss ratio stops improving quickly.
+
+    Returns the capacities (in blocks) where the achievable hit gain
+    reaches *knee_fraction* of its maximum — the working-set "knees" that
+    decide which Table 7 column a benchmark's ratio collapses in.
+    """
+    if not 0 < knee_fraction < 1:
+        raise TraceError("knee_fraction must be in (0, 1)")
+    curve = miss_ratio_curve(trace, block_bytes)
+    histogram = curve.distance_histogram
+    if not histogram.sum():
+        return []
+    cumulative = np.cumsum(histogram)
+    target = knee_fraction * cumulative[-1]
+    knee = int(np.searchsorted(cumulative, target)) + 1
+    return [knee]

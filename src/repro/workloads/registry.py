@@ -1,0 +1,86 @@
+"""Benchmark registry: name -> workload class, plus Table 3 metadata.
+
+The registry is the single source of truth for which benchmarks exist and
+which suite each belongs to; every experiment looks workloads up here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
+from repro.workloads.compress import Compress
+from repro.workloads.dnasa2 import Dnasa2
+from repro.workloads.eqntott import Eqntott
+from repro.workloads.espresso import Espresso
+from repro.workloads.spec95fp import Applu, Hydro2d, Su2cor95, Swim95
+from repro.workloads.spec95int import Li, Perl, Vortex
+from repro.workloads.su2cor import Su2cor
+from repro.workloads.swm import Swm
+from repro.workloads.tomcatv import Tomcatv
+
+_WORKLOADS: tuple[type[SyntheticWorkload], ...] = (
+    # SPEC92, in the paper's Table 3 order.
+    Compress,
+    Dnasa2,
+    Eqntott,
+    Espresso,
+    Su2cor,
+    Swm,
+    Tomcatv,
+    # SPEC95, in the paper's Table 3 order.
+    Applu,
+    Hydro2d,
+    Li,
+    Perl,
+    Su2cor95,
+    Swim95,
+    Vortex,
+)
+
+_BY_NAME = {cls.name.lower(): cls for cls in _WORKLOADS}
+
+
+def workload_names(suite: str | None = None) -> list[str]:
+    """Benchmark names, optionally filtered to ``"SPEC92"`` or ``"SPEC95"``."""
+    if suite is not None and suite not in ("SPEC92", "SPEC95"):
+        raise WorkloadError(f"unknown suite {suite!r}")
+    return [cls.name for cls in _WORKLOADS if suite is None or cls.suite == suite]
+
+
+def get_workload(name: str, scale: float = DEFAULT_SCALE) -> SyntheticWorkload:
+    """Instantiate the named workload at the given scale."""
+    cls = _BY_NAME.get(name.lower())
+    if cls is None:
+        known = ", ".join(sorted(_BY_NAME))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}")
+    return cls(scale=scale)
+
+
+def all_workloads(
+    suite: str | None = None, scale: float = DEFAULT_SCALE
+) -> list[SyntheticWorkload]:
+    """Instantiate every workload (optionally one suite) at *scale*."""
+    return [get_workload(name, scale=scale) for name in workload_names(suite)]
+
+
+def table3_rows(scale: float = DEFAULT_SCALE) -> list[dict[str, object]]:
+    """Rows of the paper's Table 3, augmented with reproduction-scale data.
+
+    Each row carries the published reference count and data-set size next to
+    the scaled footprint this library actually generates, so EXPERIMENTS.md
+    can print paper-vs-measured side by side.
+    """
+    rows = []
+    for cls in _WORKLOADS:
+        workload = cls(scale=scale)
+        rows.append(
+            {
+                "benchmark": cls.name,
+                "suite": cls.suite,
+                "paper_refs_millions": cls.paper.refs_millions,
+                "paper_dataset_mb": cls.paper.dataset_mb,
+                "input": cls.paper.input_description,
+                "scaled_dataset_bytes": workload.dataset_bytes(),
+            }
+        )
+    return rows

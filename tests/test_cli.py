@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENT_MODULES, build_parser, main
+
+
+def run_cli(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0, out.getvalue()
+    return out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_every_experiment_module_registered(self):
+        assert set(EXPERIMENT_MODULES) == {
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "table2", "table3", "table6", "table7", "table8", "table9",
+            "epin",
+        }
+
+
+class TestCommands:
+    def test_list(self):
+        text = run_cli("list")
+        assert "table7" in text
+        assert "Compress" in text and "Vortex" in text
+
+    def test_simulate(self):
+        text = run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "20000"
+        )
+        assert "traffic ratio" in text
+        assert "Espresso" in text
+
+    def test_simulate_with_mtc(self):
+        text = run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "20000",
+            "--mtc",
+        )
+        assert "inefficiency G" in text
+
+    def test_simulate_unknown_workload_fails_cleanly(self, capsys):
+        out = io.StringIO()
+        code = main(["simulate", "gcc"], out=out)
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_decompose(self):
+        text = run_cli(
+            "decompose", "Li", "--experiment", "A", "--max-refs", "3000"
+        )
+        assert "f_P=" in text and "f_B=" in text
+        assert "T_P=" in text
+
+    def test_stats(self):
+        text = run_cli("stats", "Li", "--max-refs", "20000")
+        assert "footprint" in text
+        assert "reuse fraction" in text
+
+    def test_experiment_figure1(self):
+        text = run_cli("experiment", "figure1")
+        assert "Pin growth" in text
+
+    def test_experiment_with_max_refs(self):
+        text = run_cli("experiment", "table9", "--max-refs", "20000")
+        assert "blocksize" in text

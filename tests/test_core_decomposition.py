@@ -1,0 +1,76 @@
+"""Tests for the execution-time decomposition arithmetic."""
+
+import pytest
+
+from repro.core.decomposition import ExecutionDecomposition, decompose
+from repro.errors import SimulationError
+
+
+class TestFractions:
+    def test_sum_to_one(self):
+        d = ExecutionDecomposition(100, 150, 200)
+        assert d.f_p + d.f_l + d.f_b == pytest.approx(1.0)
+
+    def test_values(self):
+        d = ExecutionDecomposition(100, 150, 200)
+        assert d.f_p == pytest.approx(0.5)
+        assert d.f_l == pytest.approx(0.25)
+        assert d.f_b == pytest.approx(0.25)
+
+    def test_perfect_system(self):
+        d = ExecutionDecomposition(100, 100, 100)
+        assert d.f_p == 1.0
+        assert d.f_l == d.f_b == 0.0
+
+    def test_stall_cycle_views(self):
+        d = ExecutionDecomposition(100, 160, 220)
+        assert d.latency_stall_cycles == 60
+        assert d.bandwidth_stall_cycles == 60
+
+
+class TestValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(SimulationError):
+            ExecutionDecomposition(100, 90, 200)
+        with pytest.raises(SimulationError):
+            ExecutionDecomposition(100, 150, 140)
+
+    def test_positive_cycles_required(self):
+        with pytest.raises(SimulationError):
+            ExecutionDecomposition(0, 10, 20)
+
+    def test_decompose_clamps_small_inversions(self):
+        d = decompose(100, 98, 97, label="noisy")
+        assert d.cycles_infinite == 100
+        assert d.cycles_full == 100
+        assert d.f_l == 0.0
+        assert d.f_b == 0.0
+
+
+class TestViews:
+    def test_normalized_bars(self):
+        d = ExecutionDecomposition(100, 150, 200)
+        processing, latency, bandwidth = d.normalized_to(100)
+        assert processing == pytest.approx(1.0)
+        assert latency == pytest.approx(0.5)
+        assert bandwidth == pytest.approx(0.5)
+
+    def test_normalized_requires_positive_baseline(self):
+        d = ExecutionDecomposition(100, 150, 200)
+        with pytest.raises(SimulationError):
+            d.normalized_to(0)
+
+    def test_cpi_view(self):
+        d = ExecutionDecomposition(100, 150, 200, instructions=50)
+        cpi_p, cpi_l, cpi_b = d.cpi()
+        assert cpi_p == pytest.approx(2.0)
+        assert cpi_l == pytest.approx(1.0)
+        assert cpi_b == pytest.approx(1.0)
+
+    def test_cpi_requires_instruction_count(self):
+        with pytest.raises(SimulationError):
+            ExecutionDecomposition(10, 20, 30).cpi()
+
+    def test_str_mentions_fractions(self):
+        text = str(ExecutionDecomposition(100, 150, 200, label="x"))
+        assert "f_P=0.50" in text

@@ -1,0 +1,172 @@
+"""Tests for the pin-trend dataset/fits and the I/O-complexity models."""
+
+import math
+
+import pytest
+
+from repro.core.growth import (
+    FFT,
+    MODELS,
+    MergeSort,
+    Stencil,
+    TiledMatrixMultiply,
+    balance_schedule,
+)
+from repro.core.pins import (
+    CHIPS,
+    extrapolate_2006,
+    fit_exponential,
+    mips_per_bandwidth_trend,
+    mips_per_pin_trend,
+    pin_trend,
+)
+from repro.errors import ConfigurationError
+
+
+class TestChipDataset:
+    def test_eighteen_chips(self):
+        assert len(CHIPS) == 18
+
+    def test_year_range_matches_figure(self):
+        years = [chip.year for chip in CHIPS]
+        assert min(years) == 1978
+        assert max(years) <= 1997
+
+    def test_per_chip_derived_metrics(self):
+        chip = next(c for c in CHIPS if c.name == "R10000")
+        assert chip.mips_per_pin == pytest.approx(800 / 599)
+        assert chip.mips_per_bandwidth == pytest.approx(1.0)
+
+    def test_pa8000_is_the_outlier(self):
+        """The paper singles out the PA-8000's huge cacheless package."""
+        pa8000 = next(c for c in CHIPS if c.name == "PA8000")
+        assert pa8000.pins == max(c.pins for c in CHIPS)
+
+
+class TestTrendFits:
+    def test_pin_growth_near_16_percent(self):
+        fit = pin_trend()
+        assert 12.0 < fit.percent_per_year < 20.0
+
+    def test_mips_per_pin_growing(self):
+        assert mips_per_pin_trend().annual_growth > 1.2
+
+    def test_mips_per_bandwidth_growing(self):
+        """Figure 1c: performance outstrips package bandwidth."""
+        assert mips_per_bandwidth_trend().annual_growth > 1.1
+
+    def test_fit_reproduces_exact_exponential(self):
+        points = [(1990 + i, 100 * 1.3 ** i) for i in range(10)]
+        fit = fit_exponential(points)
+        assert fit.annual_growth == pytest.approx(1.3, rel=1e-6)
+        assert fit.value_at(1995) == pytest.approx(100 * 1.3 ** 5, rel=1e-6)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponential([(1990, 1.0)])
+
+
+class TestExtrapolation:
+    def test_paper_numbers(self):
+        """Section 4.3: 2-3k pins in 2006, ~25x bandwidth per pin."""
+        result = extrapolate_2006()
+        assert 2000 <= result.pins_2006 <= 3000
+        assert 20 <= result.bandwidth_per_pin_factor <= 35
+
+    def test_horizon_validated(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate_2006(years=0)
+
+
+class TestGrowthModels:
+    def test_table2_row_order(self):
+        assert [m.name for m in MODELS] == ["TMM", "Stencil", "FFT", "Sort"]
+
+    def test_tmm_sqrt_gain(self):
+        model = TiledMatrixMultiply()
+        gain = model.improvement(n=8192, s=4096, k=4.0)
+        assert gain == pytest.approx(2.0, rel=0.05)
+
+    def test_stencil_linear_gain(self):
+        model = Stencil()
+        gain = model.improvement(n=4096, s=4096, k=4.0)
+        assert gain == pytest.approx(4.0, rel=0.05)
+
+    def test_fft_log_gain(self):
+        model = FFT()
+        gain = model.improvement(n=1 << 20, s=4096, k=4.0)
+        expected = math.log2(16384) / math.log2(4096)
+        assert gain == pytest.approx(expected, rel=0.05)
+
+    def test_sort_matches_fft_asymptotics(self):
+        fft_gain = FFT().improvement(n=1 << 20, s=4096, k=4.0)
+        sort_gain = MergeSort().improvement(n=1 << 20, s=4096, k=4.0)
+        assert sort_gain == pytest.approx(fft_gain, rel=0.05)
+
+    def test_cd_ratio_monotone_in_memory(self):
+        for model in MODELS:
+            assert model.cd_ratio(1 << 16, 8192) >= model.cd_ratio(1 << 16, 2048)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TiledMatrixMultiply().traffic(1, 1024)
+        with pytest.raises(ConfigurationError):
+            TiledMatrixMultiply().improvement(1024, 1024, 1.0)
+
+
+class TestBalanceSchedule:
+    def test_log_gain_algorithms_hit_the_wall_first(self):
+        """Figure 2's qualitative message, quantified: FFT/Sort become
+        bandwidth-bound while TMM/Stencil keep pace in the same window."""
+
+        def crossover(model):
+            points = balance_schedule(model, 4096)
+            return next(
+                (p.year for p in points if p.bandwidth_bound), None
+            )
+
+        fft_year = crossover(FFT())
+        sort_year = crossover(MergeSort())
+        tmm_year = crossover(TiledMatrixMultiply())
+        stencil_year = crossover(Stencil())
+        assert fft_year is not None
+        assert sort_year is not None
+        assert tmm_year is None or tmm_year > fft_year
+        assert stencil_year is None
+
+    def test_years_validated(self):
+        with pytest.raises(ConfigurationError):
+            balance_schedule(FFT(), 4096, years=0)
+
+
+class TestQualitativeTable1:
+    def test_every_latency_and_processor_row_raises_bandwidth(self):
+        from repro.core.qualitative import Section, Trend, rows
+
+        for section in (Section.LATENCY_REDUCTION, Section.PROCESSOR_TRENDS):
+            for row in rows(section):
+                assert row.f_b is Trend.UP, row.technique
+
+    def test_physical_rows_lower_bandwidth_stalls(self):
+        from repro.core.qualitative import Section, Trend, rows
+
+        for row in rows(Section.PHYSICAL_TRENDS):
+            assert row.f_b is Trend.DOWN
+
+    def test_latency_rows_all_reduce_latency(self):
+        from repro.core.qualitative import Section, Trend, rows
+
+        for row in rows(Section.LATENCY_REDUCTION):
+            assert row.f_l is Trend.DOWN
+
+    def test_row_count_matches_paper(self):
+        from repro.core.qualitative import TABLE1
+
+        assert len(TABLE1) == 13
+
+    def test_render_lists_all_sections(self):
+        from repro.core.qualitative import render
+
+        text = render()
+        assert "A. Latency reduction" in text
+        assert "C. Physical trends" in text

@@ -1,0 +1,115 @@
+"""Tests for traffic ratio / inefficiency / effective pin bandwidth."""
+
+import pytest
+
+from repro.core.traffic import (
+    effective_pin_bandwidth,
+    mean_traffic_ratio,
+    measure_inefficiency,
+    optimal_effective_pin_bandwidth,
+    traffic_inefficiency,
+    traffic_ratio,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTrafficRatio:
+    def test_equation_four(self):
+        assert traffic_ratio(200, 100) == 2.0
+        assert traffic_ratio(50, 100) == 0.5
+
+    def test_zero_above_gives_zero(self):
+        assert traffic_ratio(100, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            traffic_ratio(-1, 100)
+
+
+class TestTrafficInefficiency:
+    def test_equation_six(self):
+        assert traffic_inefficiency(300, 100) == 3.0
+
+    def test_zero_mtc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            traffic_inefficiency(100, 0)
+
+
+class TestEffectivePinBandwidth:
+    def test_equation_five(self):
+        # ratio 0.5 at one level: effective bandwidth doubles
+        assert effective_pin_bandwidth(400, [0.5]) == pytest.approx(800)
+
+    def test_multi_level_product(self):
+        assert effective_pin_bandwidth(400, [0.5, 0.5]) == pytest.approx(1600)
+
+    def test_bad_cache_reduces_bandwidth(self):
+        assert effective_pin_bandwidth(400, [2.0]) == pytest.approx(200)
+
+    def test_zero_ratio_is_infinite(self):
+        assert effective_pin_bandwidth(400, [0.0]) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_pin_bandwidth(0, [0.5])
+        with pytest.raises(ConfigurationError):
+            effective_pin_bandwidth(100, [-0.1])
+
+    def test_equation_seven(self):
+        # OE_pin = B * G / R
+        assert optimal_effective_pin_bandwidth(400, [0.5], [10.0]) == pytest.approx(
+            8000
+        )
+
+    def test_equation_seven_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_effective_pin_bandwidth(400, [0.5], [0.0])
+
+
+class TestMeasureInefficiency:
+    def test_default_setup_matches_paper(self, small_trace):
+        comparison = measure_inefficiency(small_trace, 1024)
+        assert comparison.cache_config.block_bytes == 32
+        assert comparison.cache_config.associativity == 1
+        assert comparison.mtc_config.block_bytes == 4
+        assert comparison.g >= 1.0
+
+    def test_ratios_exposed(self, small_trace):
+        comparison = measure_inefficiency(small_trace, 1024)
+        assert comparison.cache_ratio > comparison.mtc_ratio
+
+    def test_mismatched_sizes_rejected(self, small_trace):
+        from repro.mem.cache import CacheConfig
+        from repro.mem.mtc import MTCConfig
+
+        with pytest.raises(ConfigurationError):
+            measure_inefficiency(
+                small_trace,
+                1024,
+                cache_config=CacheConfig(size_bytes=2048, block_bytes=32),
+                mtc_config=MTCConfig(size_bytes=1024),
+            )
+
+
+class TestMeanTrafficRatio:
+    def test_filters_by_size_window(self):
+        cells = [(32 * 1024, 1.0), (64 * 1024, 0.6), (128 * 1024, 0.4)]
+        mean = mean_traffic_ratio(
+            cells, min_size=64 * 1024, dataset_bytes=256 * 1024
+        )
+        assert mean == pytest.approx(0.5)
+
+    def test_excludes_sizes_at_or_above_dataset(self):
+        cells = [(64 * 1024, 0.6), (128 * 1024, 0.4)]
+        mean = mean_traffic_ratio(
+            cells, min_size=64 * 1024, dataset_bytes=128 * 1024
+        )
+        assert mean == pytest.approx(0.6)
+
+    def test_nan_when_nothing_qualifies(self):
+        import math
+
+        mean = mean_traffic_ratio(
+            [(1024, 1.0)], min_size=64 * 1024, dataset_bytes=32 * 1024
+        )
+        assert math.isnan(mean)

@@ -1,0 +1,134 @@
+"""Tests for the Machine wrapper and the decomposition protocol."""
+
+import pytest
+
+from repro.cpu.configs import experiment
+from repro.cpu.itrace import instruction_trace_for_workload
+from repro.cpu.machine import Machine, decompose_experiment
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def li_trace():
+    return instruction_trace_for_workload(get_workload("Li"), max_refs=4000)
+
+
+class TestMachine:
+    def test_three_runs_ordered(self, li_trace):
+        result = Machine(experiment("A")).run(li_trace)
+        d = result.decomposition
+        assert d.cycles_perfect <= d.cycles_infinite <= d.cycles_full
+        assert abs(d.f_p + d.f_l + d.f_b - 1.0) < 1e-9
+
+    def test_instruction_count_recorded(self, li_trace):
+        result = Machine(experiment("A")).run(li_trace)
+        assert result.decomposition.instructions == len(li_trace)
+
+    def test_full_memory_stats_populated(self, li_trace):
+        result = Machine(experiment("A")).run(li_trace)
+        assert result.full_memory_stats.accesses == li_trace.memory_reference_count
+
+    def test_label_contains_benchmark_and_experiment(self, li_trace):
+        result = Machine(experiment("C")).run(li_trace)
+        assert "Li" in result.decomposition.label
+        assert "C" in result.decomposition.label
+
+
+class TestPaperBehaviours:
+    """The qualitative Section 3 findings, as assertions."""
+
+    def test_out_of_order_speeds_up(self):
+        workload = get_workload("Swm")
+        a = decompose_experiment(workload, experiment("A"), max_refs=8000)
+        d = decompose_experiment(workload, experiment("D"), max_refs=8000)
+        assert d.decomposition.cycles_full < a.decomposition.cycles_full
+
+    def test_latency_tolerance_grows_bandwidth_share(self):
+        """The paper's thesis: f_B grows from experiment A to F."""
+        workload = get_workload("Swm")
+        a = decompose_experiment(workload, experiment("A"), max_refs=8000)
+        f = decompose_experiment(workload, experiment("F"), max_refs=8000)
+        assert f.decomposition.f_b > a.decomposition.f_b
+        assert f.decomposition.f_l < a.decomposition.f_l
+
+    def test_experiment_a_is_latency_dominated(self):
+        """In experiment A, f_L > f_B (paper Table 6, all but Applu)."""
+        workload = get_workload("Tomcatv")
+        a = decompose_experiment(workload, experiment("A"), max_refs=8000)
+        assert a.decomposition.f_l > a.decomposition.f_b
+
+    def test_prefetch_reduces_latency_stalls(self):
+        workload = get_workload("Swm")
+        d = decompose_experiment(workload, experiment("D"), max_refs=8000)
+        e = decompose_experiment(workload, experiment("E"), max_refs=8000)
+        assert e.decomposition.f_l <= d.decomposition.f_l + 0.02
+
+    def test_prefetch_increases_memory_traffic(self):
+        workload = get_workload("Swm")
+        d = decompose_experiment(workload, experiment("D"), max_refs=8000)
+        e = decompose_experiment(workload, experiment("E"), max_refs=8000)
+        assert (
+            e.full_memory_stats.l1_l2_traffic_bytes
+            >= d.full_memory_stats.l1_l2_traffic_bytes
+        )
+
+    def test_cache_bound_benchmark_has_small_stalls(self):
+        """Espresso fits in cache: memory stalls should be minor."""
+        workload = get_workload("Espresso")
+        a = decompose_experiment(workload, experiment("A"), max_refs=8000)
+        assert a.decomposition.f_p > 0.7
+
+
+class TestBlockSizeAndSpeculation:
+    def test_larger_blocks_shift_stalls_to_bandwidth(self):
+        """Section 3.2: experiment B's larger blocks reduce latency stalls
+        while raising bandwidth stalls (the dominant pattern; the paper
+        sees the same direction for Su2cor and mixed ones elsewhere)."""
+        for name in ("Su2cor", "Swm", "Tomcatv"):
+            workload = get_workload(name)
+            a = decompose_experiment(workload, experiment("A"), max_refs=8000)
+            b = decompose_experiment(workload, experiment("B"), max_refs=8000)
+            assert b.decomposition.f_l < a.decomposition.f_l, name
+            assert b.decomposition.f_b > a.decomposition.f_b, name
+
+    def test_wrong_path_loads_add_traffic(self):
+        """Table 1: speculative loads increase traffic when wrong."""
+        from repro.cpu.branch import TwoLevelPredictor
+        from repro.cpu.itrace import WorkloadProfile, build_instruction_trace
+        from repro.cpu.ooo import OutOfOrderCore
+        from repro.mem.timing import MemoryMode, TimingMemory
+
+        workload = get_workload("Compress")  # mispredict-heavy
+        memtrace = workload.generate(seed=0, max_refs=5000)
+        itrace = build_instruction_trace(
+            memtrace, WorkloadProfile(loop_branch_fraction=0.2), seed=0
+        )
+        config = experiment("D")
+
+        def traffic(wrong_path):
+            memory = TimingMemory(
+                config.timing_memory_params(0.25), MemoryMode.FULL
+            )
+            core = OutOfOrderCore(
+                memory,
+                TwoLevelPredictor(1024),
+                ruu_size=32,
+                lsq_size=16,
+                wrong_path_loads=wrong_path,
+            )
+            core.run(itrace)
+            return memory.stats.l1_l2_traffic_bytes
+
+        assert traffic(4) > traffic(0)
+
+    def test_wrong_path_loads_validated(self):
+        from repro.cpu.branch import TwoLevelPredictor
+        from repro.cpu.ooo import OutOfOrderCore
+        from repro.mem.timing import MemoryMode, TimingMemory
+
+        config = experiment("D")
+        memory = TimingMemory(config.timing_memory_params(0.25), MemoryMode.FULL)
+        with pytest.raises(Exception):
+            OutOfOrderCore(
+                memory, TwoLevelPredictor(64), wrong_path_loads=-1
+            )

@@ -1,0 +1,86 @@
+"""Smoke tests: examples run end-to-end; the public API surface is sane."""
+
+import importlib
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        import repro
+
+        for error in (
+            repro.ConfigurationError,
+            repro.SimulationError,
+            repro.TraceError,
+            repro.WorkloadError,
+        ):
+            assert issubclass(error, repro.ReproError)
+
+    def test_docstring_quickstart_works(self):
+        """The snippet in repro.__doc__ must actually run."""
+        from repro import Cache, CacheConfig, MinimalTrafficCache, MTCConfig
+        from repro.workloads import get_workload
+
+        trace = get_workload("Compress").generate(seed=1, max_refs=20_000)
+        cache = Cache(CacheConfig(size_bytes=16 * 1024, block_bytes=32))
+        stats = cache.simulate(trace)
+        assert stats.traffic_ratio > 0
+        mtc = MinimalTrafficCache(MTCConfig(size_bytes=16 * 1024))
+        g = stats.total_traffic_bytes / mtc.simulate(trace).total_traffic_bytes
+        assert g >= 1.0
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.experiments.figure1",
+            "repro.experiments.figure2",
+            "repro.experiments.figure3",
+            "repro.experiments.figure4",
+            "repro.experiments.table2",
+            "repro.experiments.table3",
+            "repro.experiments.table6",
+            "repro.experiments.table7",
+            "repro.experiments.table8",
+            "repro.experiments.table9",
+        ],
+    )
+    def test_every_experiment_module_has_run_and_render(self, module):
+        mod = importlib.import_module(module)
+        assert callable(mod.run)
+        assert callable(mod.render)
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "latency_tolerance_backfire.py",
+        "cache_design_space.py",
+        "pin_budget_planning.py",
+        "future_systems.py",
+    ],
+)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), path
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100  # produced a real report

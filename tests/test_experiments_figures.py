@@ -1,0 +1,165 @@
+"""Shape tests for the figure experiments (1, 2, 3, 4) and Table 6."""
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure3, figure4, table6
+
+TIMING_REFS = 8_000
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def f1(self):
+        return figure1.run()
+
+    def test_pin_growth_near_paper(self, f1):
+        assert 12 < f1.pin_fit.percent_per_year < 20
+
+    def test_extrapolation_in_paper_range(self, f1):
+        assert 2000 <= f1.extrapolation.pins_2006 <= 3000
+        assert 20 <= f1.extrapolation.bandwidth_per_pin_factor <= 35
+
+    def test_all_panels_have_all_chips(self, f1):
+        assert len(f1.pins_series) == 18
+        assert len(f1.mips_per_pin_series) == 18
+        assert len(f1.mips_per_bandwidth_series) == 18
+
+    def test_render(self, f1):
+        text = figure1.render(f1)
+        assert "pins" in text and "2006" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def f2(self):
+        return figure2.run()
+
+    def test_all_models_scheduled(self, f2):
+        assert set(f2.schedules) == {"TMM", "Stencil", "FFT", "Sort"}
+
+    def test_tmm_balancing_growth_is_sqrt(self, f2):
+        assert f2.balancing_growth["TMM"] == pytest.approx(2.0, rel=0.05)
+
+    def test_log_algorithms_bound_within_window(self, f2):
+        for name in ("FFT", "Sort"):
+            assert any(p.bandwidth_bound for p in f2.schedules[name])
+
+    def test_stencil_keeps_pace(self, f2):
+        assert not any(p.bandwidth_bound for p in f2.schedules["Stencil"])
+
+    def test_render(self, f2):
+        assert "C/D gain" in figure2.render(f2)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def f3(self):
+        return figure3.run(
+            "SPEC92",
+            max_refs=TIMING_REFS,
+            benchmarks=["Compress", "Swm"],
+        )
+
+    def test_all_experiments_present(self, f3):
+        for benchmark in ("Compress", "Swm"):
+            for exp in "ABCDEF":
+                assert (benchmark, exp) in f3.bars
+
+    def test_bars_normalized_to_experiment_a(self, f3):
+        bar_a = f3.bar("Swm", "A")
+        assert bar_a.normalized[0] == pytest.approx(1.0)
+
+    def test_bandwidth_share_grows_with_aggressiveness(self, f3):
+        """The figure's headline: f_B rises from A to F."""
+        for benchmark in ("Compress", "Swm"):
+            assert (
+                f3.bar(benchmark, "F").f_b > f3.bar(benchmark, "A").f_b
+            )
+
+    def test_out_of_order_is_faster(self, f3):
+        for benchmark in ("Compress", "Swm"):
+            total_a = sum(f3.bar(benchmark, "A").normalized)
+            total_d = sum(f3.bar(benchmark, "D").normalized)
+            assert total_d < total_a
+
+    def test_render(self, f3):
+        text = figure3.render(f3)
+        assert "Swm" in text and "f_B" in text
+
+    def test_unknown_bar_rejected(self, f3):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            f3.bar("Swm", "Z")
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def t6(self):
+        return table6.run(max_refs=TIMING_REFS)
+
+    def test_rows_cover_both_suites(self, t6):
+        names = {row.benchmark for row in t6.rows}
+        assert "Compress" in names and "Swim95" in names
+
+    def test_experiment_a_latency_dominated(self, t6):
+        """Paper: at A, f_L > f_B for every benchmark but one."""
+        dominated = sum(1 for row in t6.rows if row.f_l_a > row.f_b_a)
+        assert dominated >= len(t6.rows) - 2
+
+    def test_most_rows_reverse_at_f(self, t6):
+        """Paper: at F, f_B > f_L for all but two benchmarks."""
+        reversed_count = sum(1 for row in t6.rows if row.f_b_f > row.f_l_f)
+        assert reversed_count >= len(t6.rows) // 2
+
+    def test_render(self, t6):
+        text = table6.render(t6)
+        assert "f_L" in text and "reversed" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def f4(self):
+        return figure4.run(
+            max_refs=40_000,
+            benchmarks=("Compress", "Swm"),
+            min_size=4096,
+            max_size=256 * 1024,
+        )
+
+    def test_panels_present(self, f4):
+        assert set(f4.panels) == {"Compress", "Swm"}
+
+    def test_mtc_lines_are_lowest(self, f4):
+        """Both MTC curves sit at or below every cache curve."""
+        for panel in f4.panels.values():
+            for index in range(len(panel.sizes)):
+                mtc = panel.mtc_write_validate[index]
+                for series in panel.cache_series.values():
+                    if series[index] >= 0:
+                        assert mtc <= series[index]
+
+    def test_wv_mtc_never_above_wa_mtc(self, f4):
+        for panel in f4.panels.values():
+            for wv, wa in zip(panel.mtc_write_validate, panel.mtc_write_allocate):
+                assert wv <= wa
+
+    def test_compress_traffic_grows_with_block_size(self, f4):
+        """Compress has little spatial locality: at mid cache sizes,
+        bigger blocks mean strictly more traffic."""
+        panel = f4.panels["Compress"]
+        index = panel.sizes.index(16 * 1024)
+        ordered = [
+            panel.cache_series[block][index] for block in (8, 32, 128)
+        ]
+        assert ordered[0] < ordered[1] < ordered[2]
+
+    def test_traffic_declines_with_cache_size(self, f4):
+        for panel in f4.panels.values():
+            series = panel.cache_series[32]
+            defined = [v for v in series if v >= 0]
+            assert defined[-1] < defined[0]
+
+    def test_render(self, f4):
+        text = figure4.render(f4)
+        assert "MTC (WV)" in text and "32B blocks" in text

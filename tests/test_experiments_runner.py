@@ -1,0 +1,107 @@
+"""Tests for the experiment machinery (scaled axis, sweeps, reports)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import render_series, render_sweep
+from repro.experiments.runner import (
+    PAPER_CACHE_SIZES,
+    ScaledAxis,
+    SweepResult,
+    sweep_grid,
+)
+from repro.workloads import get_workload
+
+
+class TestScaledAxis:
+    def test_paper_columns(self):
+        assert PAPER_CACHE_SIZES[0] == 1024
+        assert PAPER_CACHE_SIZES[-1] == 2 * 1024 * 1024
+        assert len(PAPER_CACHE_SIZES) == 12
+
+    def test_simulated_size(self):
+        axis = ScaledAxis(scale=0.25)
+        assert axis.simulated_size(1024) == 256
+        assert axis.simulated_size(2 * 1024 * 1024) == 512 * 1024
+
+    def test_scale_must_be_inverse_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            ScaledAxis(scale=0.3)
+
+    def test_scale_one_allowed(self):
+        assert ScaledAxis(scale=1.0).simulated_size(1024) == 1024
+
+    def test_too_small_simulated_size_rejected(self):
+        axis = ScaledAxis(scale=1 / 32)
+        with pytest.raises(ConfigurationError):
+            axis.simulated_size(1024)
+
+    def test_labels_use_paper_scale(self):
+        axis = ScaledAxis(scale=0.25)
+        assert axis.label(64 * 1024) == "64KB"
+
+    def test_too_big_matches_scaled_dataset(self):
+        axis = ScaledAxis(scale=0.25)
+        espresso = get_workload("Espresso", scale=0.25)
+        assert not axis.is_too_big(32 * 1024, espresso)
+        assert axis.is_too_big(256 * 1024, espresso)
+
+
+class TestSweepGrid:
+    def _grid(self, **kwargs):
+        axis = ScaledAxis(scale=0.25)
+        workloads = [get_workload("Espresso", scale=0.25)]
+        return sweep_grid(
+            "test",
+            workloads,
+            axis,
+            lambda w, size: float(size),
+            **kwargs,
+        )
+
+    def test_cells_report_simulated_sizes(self):
+        grid = self._grid(sizes=[1024, 2048])
+        assert grid.cell("Espresso", 1024) == 256.0
+
+    def test_too_big_cells_are_none(self):
+        grid = self._grid()
+        assert grid.cell("Espresso", 2 * 1024 * 1024) is None
+
+    def test_full_rows_override(self):
+        grid = self._grid(full_rows={"Espresso"})
+        assert grid.cell("Espresso", 2 * 1024 * 1024) is not None
+
+    def test_defined_cells_skips_none(self):
+        grid = self._grid()
+        defined = grid.defined_cells("Espresso")
+        assert all(value is not None for _, value in defined)
+        assert len(defined) < len(grid.column_sizes)
+
+    def test_unknown_row_rejected(self):
+        grid = self._grid()
+        with pytest.raises(ConfigurationError):
+            grid.row("Gcc")
+
+    def test_unknown_column_rejected(self):
+        grid = self._grid(sizes=[1024])
+        with pytest.raises(ConfigurationError):
+            grid.cell("Espresso", 4096)
+
+
+class TestRendering:
+    def test_render_sweep_marks_too_big(self):
+        result = SweepResult(
+            title="t",
+            row_names=["X"],
+            column_sizes=[1024, 2048],
+            cells=[[1.5, None]],
+            scale=0.25,
+        )
+        text = render_sweep(result)
+        assert "<<<" in text
+        assert "1.50" in text
+        assert "1KB" in text and "2KB" in text
+
+    def test_render_series(self):
+        text = render_series("title", "year", {"s": [(1990, 1.0)]})
+        assert "title" in text and "1990:1" in text

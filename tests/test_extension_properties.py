@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the extension mechanisms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.flexible import FlexibleCache, FlexibleCacheConfig, RegionPolicy
+from repro.mem.sector import SectorCache, SectorCacheConfig
+from repro.mem.victim import VictimCache, VictimCacheConfig
+from repro.trace.model import MemTrace
+
+
+def traces(max_words: int = 256, max_len: int = 500):
+    return st.builds(
+        lambda addrs, writes: MemTrace(
+            np.asarray(addrs, dtype=np.int64) * 4,
+            np.asarray(writes[: len(addrs)] + [False] * len(addrs))[: len(addrs)],
+        ),
+        st.lists(st.integers(0, max_words - 1), min_size=1, max_size=max_len),
+        st.lists(st.booleans(), min_size=0, max_size=max_len),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces(), size=st.sampled_from([128, 256, 512, 1024]))
+def test_sector_cache_degenerates_to_plain_cache(trace, size):
+    """subblock == sector == 32B must equal the ordinary cache exactly."""
+    sector = SectorCache(
+        SectorCacheConfig(size_bytes=size, sector_bytes=32, subblock_bytes=32)
+    ).simulate(trace)
+    plain = Cache(CacheConfig(size_bytes=size, block_bytes=32)).simulate(trace)
+    assert sector.misses == plain.misses
+    assert sector.fetch_bytes == plain.fetch_bytes
+    assert (
+        sector.writeback_bytes + sector.flush_writeback_bytes
+        == plain.writeback_bytes + plain.flush_writeback_bytes
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces(), size=st.sampled_from([256, 512, 1024]))
+def test_smaller_subblocks_never_fetch_more(trace, size):
+    """Halving the transfer unit can only reduce fetched bytes."""
+    big = SectorCache(
+        SectorCacheConfig(size_bytes=size, sector_bytes=32, subblock_bytes=32)
+    ).simulate(trace)
+    small = SectorCache(
+        SectorCacheConfig(size_bytes=size, sector_bytes=32, subblock_bytes=4)
+    ).simulate(trace)
+    assert small.fetch_bytes <= big.fetch_bytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces(), size=st.sampled_from([128, 256, 512]))
+def test_victim_cache_never_fetches_more_than_plain(trace, size):
+    """The victim buffer only absorbs misses, never creates them."""
+    plain = Cache(CacheConfig(size_bytes=size, block_bytes=32)).simulate(trace)
+    victim = VictimCache(
+        VictimCacheConfig(size_bytes=size, block_bytes=32, victim_entries=4)
+    ).simulate(trace)
+    assert victim.fetch_bytes <= plain.fetch_bytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces())
+def test_victim_hits_are_conserved(trace):
+    """accesses == hits + misses, and victim hits are a subset of hits."""
+    cache = VictimCache(
+        VictimCacheConfig(size_bytes=256, block_bytes=32, victim_entries=4)
+    )
+    stats = cache.simulate(trace)
+    assert stats.hits + stats.misses == stats.accesses
+    assert cache.victim_hits <= stats.hits
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces())
+def test_flexible_word_transfers_fetch_at_most_requested(trace):
+    """With 4-byte transfers everywhere, fetched bytes never exceed the
+    distinct read words (write-validate never fetches)."""
+    cache = FlexibleCache(
+        FlexibleCacheConfig(size_bytes=1024, sector_bytes=16),
+        [RegionPolicy(0, 1 << 40, 4)],
+    )
+    stats = cache.simulate(trace)
+    reads = trace.addresses[~trace.is_write]
+    assert stats.fetch_bytes <= max(1, reads.size) * 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces())
+def test_flexible_traffic_conservation(trace):
+    """Written-back words never exceed written words (coalescing only)."""
+    cache = FlexibleCache(FlexibleCacheConfig(size_bytes=512))
+    stats = cache.simulate(trace)
+    written_words = int(trace.is_write.sum())
+    written_back = (
+        stats.writeback_bytes + stats.flush_writeback_bytes
+    ) // 4
+    assert written_back <= written_words
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces(), entries=st.sampled_from([1, 2, 8]))
+def test_more_victim_entries_never_hurt(trace, entries):
+    small = VictimCache(
+        VictimCacheConfig(size_bytes=256, victim_entries=entries)
+    ).simulate(trace)
+    large = VictimCache(
+        VictimCacheConfig(size_bytes=256, victim_entries=entries * 2)
+    ).simulate(trace)
+    assert large.fetch_bytes <= small.fetch_bytes

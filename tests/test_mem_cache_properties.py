@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the cache and MTC invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import AllocatePolicy, Cache, CacheConfig
+from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.trace.model import MemTrace
+
+
+def traces(max_words: int = 256, max_len: int = 600):
+    """Strategy producing small random traces."""
+    return st.builds(
+        lambda addrs, writes: MemTrace(
+            np.asarray(addrs, dtype=np.int64) * 4,
+            np.asarray(writes[: len(addrs)] + [False] * len(addrs))[: len(addrs)],
+        ),
+        st.lists(st.integers(0, max_words - 1), min_size=1, max_size=max_len),
+        st.lists(st.booleans(), min_size=0, max_size=max_len),
+    )
+
+
+cache_sizes = st.sampled_from([64, 128, 256, 512, 1024])
+block_sizes = st.sampled_from([4, 8, 16, 32])
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces(), size=cache_sizes, block=block_sizes)
+def test_fast_path_equals_general_path(trace, size, block):
+    """The vectorized direct-mapped simulator is byte-exact."""
+    if size < block:
+        return
+    config = CacheConfig(size_bytes=size, block_bytes=block)
+    fast = Cache(config).simulate(trace)
+    general = Cache(config, listener=lambda *a: None).simulate(trace)
+    assert fast.read_hits == general.read_hits
+    assert fast.write_hits == general.write_hits
+    assert fast.fetch_bytes == general.fetch_bytes
+    assert fast.writeback_bytes == general.writeback_bytes
+    assert fast.flush_writeback_bytes == general.flush_writeback_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces(), size=cache_sizes)
+def test_mtc_never_exceeds_cache_traffic(trace, size):
+    """The MTC is a lower bound on same-size 32B direct-mapped caches.
+
+    This holds because the MTC strictly dominates: word-granularity
+    transfers, full associativity, an oracle policy, bypass, and
+    write-validate each only remove traffic.
+    """
+    if size < 32:
+        return
+    cache = Cache(CacheConfig(size_bytes=size, block_bytes=32)).simulate(trace)
+    mtc = MinimalTrafficCache(MTCConfig(size_bytes=size)).simulate(trace)
+    assert mtc.total_traffic_bytes <= cache.total_traffic_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces(), size=cache_sizes)
+def test_min_beats_lru_at_full_associativity(trace, size):
+    """Belady MIN never misses more than LRU (same geometry, WA/WB).
+
+    Classic optimality result; checked at equal block size and
+    associativity so only the policy differs. Compared on fetch traffic
+    (write-backs depend on *which* dirty block is evicted, where MIN is
+    not write-aware — the paper makes the same caveat).
+    """
+    lru = Cache(CacheConfig.fully_associative(size, 32)).simulate(trace)
+    minc = Cache(
+        CacheConfig.fully_associative(size, 32, replacement="min")
+    ).simulate(trace)
+    assert minc.fetch_bytes <= lru.fetch_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces(), size=cache_sizes)
+def test_bigger_fully_associative_lru_never_fetches_more(trace, size):
+    """LRU stack inclusion: doubling a fully-associative LRU cache can
+    only reduce fetch traffic."""
+    small = Cache(CacheConfig.fully_associative(size, 32)).simulate(trace)
+    large = Cache(CacheConfig.fully_associative(size * 2, 32)).simulate(trace)
+    assert large.fetch_bytes <= small.fetch_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces(), size=cache_sizes, block=block_sizes)
+def test_traffic_conservation(trace, size, block):
+    """Every fetched byte is either evicted, flushed, or still resident;
+    with write-allocate, fetch traffic equals misses x block size."""
+    if size < block:
+        return
+    config = CacheConfig(size_bytes=size, block_bytes=block)
+    stats = Cache(config).simulate(trace)
+    assert stats.fetch_bytes == stats.misses * block
+    assert stats.writeback_bytes + stats.flush_writeback_bytes <= stats.fetch_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_write_validate_never_fetches_more_than_write_allocate(trace):
+    """At one-word blocks WV strictly avoids write-miss fetches."""
+    wa = Cache(
+        CacheConfig.fully_associative(
+            256, 4, allocate=AllocatePolicy.WRITE_ALLOCATE
+        )
+    ).simulate(trace)
+    wv = Cache(
+        CacheConfig.fully_associative(
+            256, 4, allocate=AllocatePolicy.WRITE_VALIDATE
+        )
+    ).simulate(trace)
+    assert wv.total_traffic_bytes <= wa.total_traffic_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces(), size=cache_sizes)
+def test_mtc_bypass_never_hurts(trace, size):
+    """Bypassing is an additional degree of freedom: with it enabled the
+    MTC generates no more traffic than without."""
+    with_bypass = MinimalTrafficCache(
+        MTCConfig(size_bytes=size, bypass=True)
+    ).simulate(trace)
+    without = MinimalTrafficCache(
+        MTCConfig(size_bytes=size, bypass=False)
+    ).simulate(trace)
+    assert with_bypass.total_traffic_bytes <= without.total_traffic_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces(max_words=64))
+def test_infinite_mtc_traffic_is_cold_reads_plus_dirty_flush(trace):
+    """With capacity for everything, minimal traffic is exactly: one word
+    fetched per distinct word that is read before being written, plus one
+    word flushed per dirty word."""
+    mtc = MinimalTrafficCache(MTCConfig(size_bytes=1 << 20)).simulate(trace)
+    words = trace.words.tolist()
+    writes = trace.is_write.tolist()
+    first_kind = {}
+    dirty = set()
+    for word, is_write in zip(words, writes):
+        first_kind.setdefault(word, is_write)
+        if is_write:
+            dirty.add(word)
+    cold_reads = sum(1 for is_write in first_kind.values() if not is_write)
+    expected = 4 * (cold_reads + len(dirty))
+    assert mtc.total_traffic_bytes == expected

@@ -1,0 +1,167 @@
+"""Tests for the flexible (software-controlled transfer size) cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.flexible import (
+    FlexibleCache,
+    FlexibleCacheConfig,
+    RegionPolicy,
+    flexible_gain,
+    tune_regions,
+)
+from repro.trace.model import MemTrace
+
+from conftest import make_trace
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = FlexibleCacheConfig(size_bytes=16 * 1024)
+        assert config.num_sets > 0
+
+    def test_region_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegionPolicy(start=100, end=100, transfer_bytes=16)
+        with pytest.raises(ConfigurationError):
+            RegionPolicy(start=0, end=64, transfer_bytes=2)
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlexibleCache(
+                FlexibleCacheConfig(size_bytes=1024),
+                [
+                    RegionPolicy(0, 128, 16),
+                    RegionPolicy(64, 256, 64),
+                ],
+            )
+
+    def test_default_transfer_bounded(self):
+        with pytest.raises(ConfigurationError):
+            FlexibleCacheConfig(
+                size_bytes=1024,
+                default_transfer_bytes=256,
+                max_transfer_bytes=128,
+            )
+
+
+class TestRegionLookup:
+    def test_programmed_region_wins(self):
+        cache = FlexibleCache(
+            FlexibleCacheConfig(size_bytes=1024, default_transfer_bytes=32),
+            [RegionPolicy(0, 4096, 4)],
+        )
+        assert cache.transfer_bytes_for(100) == 4
+        assert cache.transfer_bytes_for(8192) == 32
+
+    def test_transfer_capped_at_max(self):
+        cache = FlexibleCache(
+            FlexibleCacheConfig(size_bytes=1024, max_transfer_bytes=64),
+            [RegionPolicy(0, 4096, 128)],
+        )
+        assert cache.transfer_bytes_for(0) == 64
+
+
+class TestTrafficBehaviour:
+    def test_small_transfer_moves_one_word(self):
+        cache = FlexibleCache(
+            FlexibleCacheConfig(size_bytes=1024),
+            [RegionPolicy(0, 1 << 20, 4)],
+        )
+        cache.access(0, False)
+        assert cache.stats.fetch_bytes == 4
+        assert cache.transactions == 1
+
+    def test_large_transfer_spans_sectors_in_one_transaction(self):
+        cache = FlexibleCache(
+            FlexibleCacheConfig(size_bytes=1024, sector_bytes=16),
+            [RegionPolicy(0, 1 << 20, 64)],
+        )
+        cache.access(0, False)
+        assert cache.stats.fetch_bytes == 64
+        assert cache.transactions == 1
+        # All four 16-byte sectors of the window are now resident.
+        for address in (0, 16, 32, 48):
+            assert cache.access(address, False) is True
+
+    def test_write_validate_fetches_nothing(self):
+        cache = FlexibleCache(FlexibleCacheConfig(size_bytes=1024))
+        cache.access(0, True)
+        assert cache.stats.fetch_bytes == 0
+        assert cache.flush() == 4
+
+    def test_refetch_skips_already_valid_words(self):
+        cache = FlexibleCache(
+            FlexibleCacheConfig(size_bytes=1024, sector_bytes=16),
+            [RegionPolicy(0, 1 << 20, 16)],
+        )
+        cache.access(0, True)       # validates word 0
+        cache.access(4, False)      # fetches the remaining 3 words
+        assert cache.stats.fetch_bytes == 12
+
+    def test_dirty_eviction_writes_back_words(self):
+        config = FlexibleCacheConfig(
+            size_bytes=64, sector_bytes=16, associativity=1
+        )  # 4 sets
+        cache = FlexibleCache(config)
+        cache.access(0, True)
+        cache.access(64, True)  # same set (64/16=4 sectors, 4 sets: set 0)
+        assert cache.stats.writeback_bytes == 4
+
+
+class TestTuning:
+    def test_dense_region_gets_large_transfer(self):
+        trace = make_trace(np.arange(4096) * 4)
+        policies = tune_regions(trace)
+        assert all(p.transfer_bytes == 64 for p in policies)
+
+    def test_sparse_region_gets_small_transfer(self, rng):
+        addresses = rng.choice(np.arange(0, 16384, 64), 2000, replace=True) * 4
+        trace = MemTrace(addresses, np.zeros(2000, dtype=bool))
+        policies = tune_regions(trace)
+        assert all(p.transfer_bytes == 4 for p in policies)
+
+    def test_mixed_trace_gets_mixed_policies(self, rng):
+        dense = np.arange(4096) * 4
+        sparse = rng.choice(np.arange(0, 1 << 14, 16), 4000) * 4 + (1 << 22)
+        trace = MemTrace(
+            np.concatenate([dense, sparse]),
+            np.zeros(dense.size + sparse.size, dtype=bool),
+        )
+        policies = {p.start: p.transfer_bytes for p in tune_regions(trace)}
+        assert policies[0] == 64
+        assert policies[1 << 22] == 4
+
+    def test_empty_trace(self):
+        assert tune_regions(MemTrace([], [])) == []
+
+
+class TestEndToEnd:
+    def test_mixed_workload_beats_best_fixed(self, rng):
+        """The paper's pitch: one application, two locality regimes — the
+        flexible cache beats the best single block size."""
+        count = 24_000
+        dense = np.tile(np.arange(8192) * 4, 3)[:count]
+        sparse = rng.choice(np.arange(0, 1 << 16, 16), count) * 4 + (1 << 22)
+        interleaved = np.empty(2 * count, dtype=np.int64)
+        interleaved[0::2] = dense
+        interleaved[1::2] = sparse
+        trace = MemTrace(interleaved, np.zeros(interleaved.size, dtype=bool))
+        gain = flexible_gain(trace)
+        assert gain.saving > 0.1
+
+    def test_pure_stream_is_near_break_even(self):
+        """Nothing to tune on a pure stream: the flexible cache should not
+        lose more than a small overhead to the best fixed cache."""
+        trace = make_trace(np.tile(np.arange(16_384) * 4, 2))
+        gain = flexible_gain(trace)
+        assert gain.saving > -0.15
+
+    @pytest.mark.parametrize("name", ["Compress", "Eqntott", "Espresso"])
+    def test_mixed_locality_benchmarks_gain(self, name):
+        from repro.workloads import get_workload
+
+        trace = get_workload(name).generate(seed=0, max_refs=60_000)
+        gain = flexible_gain(trace)
+        assert gain.saving > 0.0

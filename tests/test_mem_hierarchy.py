@@ -1,0 +1,100 @@
+"""Tests for the multi-level trace hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import TraceHierarchy
+from repro.trace.model import MemTrace
+
+from conftest import make_trace
+
+
+def _l1_l2_configs():
+    return [
+        CacheConfig(size_bytes=256, block_bytes=32, name="L1"),
+        CacheConfig(size_bytes=2048, block_bytes=64, associativity=4, name="L2"),
+    ]
+
+
+class TestConstruction:
+    def test_needs_levels(self):
+        with pytest.raises(ConfigurationError):
+            TraceHierarchy([])
+
+
+class TestSingleLevel:
+    def test_matches_plain_cache(self, small_trace):
+        config = CacheConfig(size_bytes=512, block_bytes=32)
+        direct = Cache(config).simulate(small_trace)
+        result = TraceHierarchy([config]).simulate(small_trace)
+        assert result.level_stats[0].total_traffic_bytes == direct.total_traffic_bytes
+        assert result.traffic_ratios[0] == pytest.approx(direct.traffic_ratio)
+
+
+class TestTwoLevel:
+    def test_l2_request_stream_is_l1_below_traffic(self, small_trace):
+        result = TraceHierarchy(_l1_l2_configs()).simulate(small_trace)
+        l1, l2 = result.level_stats
+        # L2 sees exactly L1's below-traffic, decomposed into words.
+        assert l2.accesses * 4 == l1.total_traffic_bytes
+
+    def test_ratios_compose(self, small_trace):
+        result = TraceHierarchy(_l1_l2_configs()).simulate(small_trace)
+        r1, r2 = result.traffic_ratios
+        assert result.cumulative_ratio == pytest.approx(r1 * r2)
+        # and the cumulative ratio is D2 / processor requests
+        expected = result.level_stats[1].total_traffic_bytes / small_trace.request_bytes
+        assert result.cumulative_ratio == pytest.approx(expected)
+
+    def test_l2_filters_l1_misses(self, small_trace):
+        """A big L2 behind a small L1 absorbs most of its misses."""
+        result = TraceHierarchy(_l1_l2_configs()).simulate(small_trace)
+        r1, r2 = result.traffic_ratios
+        assert r1 > 0.5   # small L1 passes much through
+        assert r2 < r1    # L2 filters further
+
+    def test_writeback_addresses_reach_l2(self):
+        """Dirty L1 victims must appear as L2 writes at the victim address."""
+        configs = [
+            CacheConfig(size_bytes=64, block_bytes=32, name="L1"),  # 2 sets
+            CacheConfig(size_bytes=4096, block_bytes=32, name="L2"),
+        ]
+        # Write block 0, then evict it via block 128 (same L1 set).
+        trace = make_trace([0, 128], [True, False])
+        result = TraceHierarchy(configs).simulate(trace)
+        l2 = result.level_stats[1]
+        assert l2.writes >= 8  # the 32-byte write-back as 8 word writes
+
+    def test_empty_l2_stream_when_l1_absorbs_everything(self):
+        configs = [
+            CacheConfig(size_bytes=4096, block_bytes=32, name="L1"),
+            CacheConfig(size_bytes=8192, block_bytes=32, name="L2"),
+        ]
+        trace = make_trace([0] * 100)  # one cold miss only
+        result = TraceHierarchy(configs).simulate(trace)
+        assert result.level_stats[1].accesses == 8  # one 32B fetch
+
+    def test_flush_propagates(self):
+        configs = _l1_l2_configs()
+        trace = make_trace([0], [True])
+        result = TraceHierarchy(configs).simulate(trace, flush=True)
+        # L1 flush pushes the dirty block into L2's request stream.
+        assert result.level_stats[1].writes >= 8
+
+
+class TestThreeLevel:
+    def test_monotone_filtering_for_looping_trace(self):
+        configs = [
+            CacheConfig(size_bytes=128, block_bytes=32, name="L1"),
+            CacheConfig(size_bytes=1024, block_bytes=32, name="L2"),
+            CacheConfig(size_bytes=8192, block_bytes=32, name="L3"),
+        ]
+        loop = np.tile(np.arange(512) * 4, 10)
+        trace = MemTrace(loop, np.zeros(loop.size, dtype=bool))
+        result = TraceHierarchy(configs).simulate(trace)
+        below = result.traffic_below
+        # 2 KB loop: misses L1, partially misses L2, fits under L3.
+        assert below[0] >= below[1] >= below[2]
+        assert len(result.traffic_ratios) == 3

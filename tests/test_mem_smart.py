@@ -1,0 +1,106 @@
+"""Tests for the smart-memory offload analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheConfig
+from repro.mem.smart import (
+    COMMAND_BYTES,
+    RESULT_BYTES,
+    offload_candidates,
+    offload_saving,
+    traffic_by_region,
+)
+from repro.trace.model import MemTrace
+
+from conftest import make_trace
+
+
+def _two_region_trace():
+    """A streamed read-only input region plus a small hot mixed region."""
+    stream = np.tile(np.arange(0, 32_768, 4, dtype=np.int64), 2)
+    hot_base = 1 << 20
+    hot = hot_base + (np.arange(4000, dtype=np.int64) % 64) * 4
+    addresses = np.concatenate([stream, hot])
+    writes = np.zeros(addresses.size, dtype=bool)
+    writes[stream.size :] = np.arange(hot.size) % 2 == 0
+    return MemTrace(addresses, writes)
+
+
+class TestTrafficByRegion:
+    def test_attribution_sums_to_total_traffic(self):
+        from repro.mem.cache import Cache
+
+        trace = _two_region_trace()
+        config = CacheConfig(size_bytes=4096, block_bytes=32)
+        regions = traffic_by_region(trace, cache_config=config)
+        total = Cache(config).simulate(trace).total_traffic_bytes
+        assert sum(r.traffic_bytes for r in regions) == total
+
+    def test_read_fraction_per_region(self):
+        regions = traffic_by_region(_two_region_trace())
+        stream_regions = [r for r in regions if r.start < (1 << 20)]
+        hot_region = [r for r in regions if r.start >= (1 << 20)][0]
+        assert all(r.read_fraction == 1.0 for r in stream_regions)
+        assert hot_region.read_fraction == pytest.approx(0.5)
+
+    def test_region_bytes_validated(self):
+        with pytest.raises(ConfigurationError):
+            traffic_by_region(make_trace([0]), region_bytes=0)
+
+
+class TestCandidates:
+    def test_streamed_read_region_is_a_candidate(self):
+        candidates = offload_candidates(_two_region_trace())
+        assert candidates
+        assert all(r.read_fraction >= 0.8 for r in candidates)
+        assert all(r.start < (1 << 20) for r in candidates)
+
+    def test_no_candidates_for_cache_resident_trace(self):
+        trace = make_trace([i % 64 * 4 for i in range(5000)])
+        assert offload_candidates(trace) == []
+
+
+class TestOffloadSaving:
+    def test_offloading_the_stream_saves_most_traffic(self):
+        trace = _two_region_trace()
+        report = offload_saving(trace, [(0, 1 << 16)])
+        assert report.saving > 0.8
+        assert report.commands_issued == 1
+
+    def test_smart_traffic_formula(self):
+        trace = _two_region_trace()
+        report = offload_saving(trace, [(0, 1 << 16)], commands_per_region=3)
+        expected = (
+            report.total_traffic_bytes
+            - report.offloaded_traffic_bytes
+            + 3 * (COMMAND_BYTES + RESULT_BYTES)
+        )
+        assert report.smart_traffic_bytes == expected
+
+    def test_offloading_nothing_changes_nothing(self):
+        trace = _two_region_trace()
+        report = offload_saving(trace, [(1 << 30, (1 << 30) + 64)])
+        assert report.offloaded_traffic_bytes == 0
+        assert report.saving < 0.001
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            offload_saving(make_trace([0]), [(100, 100)])
+        with pytest.raises(ConfigurationError):
+            offload_saving(make_trace([0]), [(0, 64)], commands_per_region=0)
+
+    def test_swm_stream_offload(self):
+        """Offloading the streamed velocity arrays of Swm removes most of
+        its pin traffic — the paper's smart-memory pitch on its own
+        workload."""
+        from repro.workloads import get_workload
+
+        trace = get_workload("Swm").generate(seed=0, max_refs=60_000)
+        candidates = offload_candidates(trace, min_traffic_share=0.02)
+        regions = [(c.start, c.end) for c in candidates]
+        if not regions:
+            pytest.skip("no candidates at this scale")
+        report = offload_saving(trace, regions)
+        assert report.saving > 0.3

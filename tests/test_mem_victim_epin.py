@@ -1,0 +1,113 @@
+"""Tests for the victim cache and the two-level E_pin experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.victim import VictimCache, VictimCacheConfig, victim_benefit
+from repro.trace.model import MemTrace
+
+from conftest import make_trace
+
+
+class TestVictimCacheBasics:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            VictimCacheConfig(size_bytes=1024, victim_entries=0)
+        with pytest.raises(ConfigurationError):
+            VictimCacheConfig(size_bytes=16, block_bytes=32)
+
+    def test_conflict_pair_ping_pong_absorbed(self):
+        """Two blocks aliasing to one set: the classic victim-cache win."""
+        config = VictimCacheConfig(size_bytes=64, block_bytes=32, victim_entries=2)
+        cache = VictimCache(config)
+        # blocks 0 and 2 both map to set 0 of the 2-set cache
+        pattern = [0, 64, 0, 64, 0, 64, 0, 64]
+        for address in pattern:
+            cache.access(address, False)
+        # only the two cold fetches cross the pins
+        assert cache.stats.fetch_bytes == 2 * 32
+        assert cache.victim_hits == len(pattern) - 2
+
+    def test_without_victim_the_pair_thrashes(self):
+        cache = Cache(CacheConfig(size_bytes=64, block_bytes=32))
+        for address in [0, 64, 0, 64, 0, 64, 0, 64]:
+            cache.access(address, False)
+        assert cache.stats.fetch_bytes == 8 * 32
+
+    def test_victim_buffer_preserves_dirtiness(self):
+        config = VictimCacheConfig(size_bytes=64, block_bytes=32, victim_entries=2)
+        cache = VictimCache(config)
+        cache.access(0, True)      # dirty block 0
+        cache.access(64, False)    # evicts it into the victim buffer
+        cache.access(0, False)     # swap back, still dirty
+        flushed = cache.flush()
+        assert flushed >= 32
+
+    def test_victim_overflow_writes_back_dirty(self):
+        config = VictimCacheConfig(size_bytes=64, block_bytes=32, victim_entries=1)
+        cache = VictimCache(config)
+        cache.access(0, True)
+        cache.access(64, False)    # 0 -> victim buffer (dirty)
+        cache.access(128, False)   # 64 -> victim buffer, evicts 0
+        assert cache.stats.writeback_bytes == 32
+
+    def test_hit_accounting(self, small_trace):
+        stats = VictimCache(
+            VictimCacheConfig(size_bytes=1024, victim_entries=4)
+        ).simulate(small_trace)
+        assert stats.accesses == len(small_trace)
+        assert stats.hits + stats.misses == stats.accesses
+
+
+class TestVictimBenefit:
+    def test_never_hurts(self, small_trace):
+        base, improved, saving = victim_benefit(small_trace, 1024)
+        assert improved <= base
+        assert saving >= 0.0
+
+    def test_large_for_conflict_workload(self):
+        """Su2cor's aliasing arrays are the victim cache's home turf."""
+        from repro.workloads import get_workload
+
+        trace = get_workload("Su2cor").generate(seed=0, max_refs=60_000)
+        _, _, saving = victim_benefit(trace, 4096, victim_entries=8)
+        assert saving > 0.4
+
+    def test_small_for_streaming_workload(self):
+        from repro.workloads import get_workload
+
+        trace = get_workload("Swm").generate(seed=0, max_refs=60_000)
+        _, _, saving = victim_benefit(trace, 4096, victim_entries=8)
+        assert saving < 0.2
+
+
+class TestEpinExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import epin
+
+        return epin.run(max_refs=60_000)
+
+    def test_all_spec92_rows(self, result):
+        assert len(result.rows) == 7
+
+    def test_oe_pin_dominates_e_pin(self, result):
+        for row in result.rows:
+            assert row.oe_pin_mb_s >= row.e_pin_mb_s * 0.999
+
+    def test_cumulative_ratio_composes(self, result):
+        for row in result.rows:
+            assert row.cumulative_ratio == pytest.approx(row.r1 * row.r2)
+
+    def test_cache_friendly_benchmark_gets_huge_e_pin(self, result):
+        espresso = next(r for r in result.rows if r.benchmark == "Espresso")
+        others = [r.e_pin_mb_s for r in result.rows if r.benchmark != "Espresso"]
+        assert espresso.e_pin_mb_s > max(others)
+
+    def test_render(self, result):
+        from repro.experiments import epin
+
+        text = epin.render(result)
+        assert "E_pin" in text and "OE_pin" in text

@@ -1,0 +1,157 @@
+"""Coverage for less-travelled paths: MIN in hierarchies, SPEC95 models,
+renderer formatting, and config edges."""
+
+import numpy as np
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import TraceHierarchy
+from repro.trace.model import MemTrace
+from repro.workloads import get_workload, workload_names
+
+from conftest import make_trace
+
+
+class TestMinInHierarchy:
+    def test_min_l2_prepared_from_derived_stream(self, small_trace):
+        """An oracle L2 must be prepared with *its own* input stream (the
+        L1's below-traffic), which the hierarchy derives internally."""
+        configs = [
+            CacheConfig(size_bytes=256, block_bytes=32, name="L1"),
+            CacheConfig.fully_associative(
+                2048, 64, replacement="min", name="L2"
+            ),
+        ]
+        result = TraceHierarchy(configs).simulate(small_trace)
+        assert result.level_stats[1].accesses > 0
+
+    def test_min_l2_beats_lru_l2(self, small_trace):
+        def below_l2(replacement):
+            configs = [
+                CacheConfig(size_bytes=256, block_bytes=32, name="L1"),
+                CacheConfig.fully_associative(
+                    1024, 64, replacement=replacement, name="L2"
+                ),
+            ]
+            result = TraceHierarchy(configs).simulate(small_trace)
+            return result.level_stats[1].fetch_bytes
+
+        assert below_l2("min") <= below_l2("lru")
+
+
+class TestSpec95Models:
+    @pytest.mark.parametrize("name", workload_names("SPEC95"))
+    def test_generates_and_has_paper_metadata(self, name):
+        workload = get_workload(name, scale=1 / 16)
+        trace = workload.generate(seed=0, max_refs=15_000)
+        assert len(trace) == 15_000
+        assert workload.paper.refs_millions > 100
+
+    def test_perl_has_large_cold_footprint(self):
+        """Perl/Vortex keep f_L high even at F because their heaps are
+        huge and sparsely reused — check the model's footprint."""
+        perl = get_workload("Perl", scale=1 / 16)
+        trace = perl.generate(seed=0)
+        assert trace.footprint_bytes > 64 * 1024
+
+    def test_li_smallest_spec95_footprint(self):
+        footprints = {
+            name: get_workload(name, scale=1 / 16)
+            .generate(seed=0, max_refs=60_000)
+            .footprint_bytes
+            for name in workload_names("SPEC95")
+        }
+        assert min(footprints, key=footprints.get) == "Li"
+
+    def test_su2cor95_inherits_conflicts(self):
+        """Su2cor95 keeps the SPEC92 version's conflict signature."""
+        trace = get_workload("Su2cor95", scale=1 / 16).generate(
+            seed=0, max_refs=60_000
+        )
+        small = Cache(CacheConfig(size_bytes=1024, block_bytes=32)).simulate(
+            trace
+        )
+        assert small.traffic_ratio > 1.5
+
+
+class TestRendererEdges:
+    def test_sweep_render_handles_all_none_row(self):
+        from repro.experiments.report import render_sweep
+        from repro.experiments.runner import SweepResult
+
+        result = SweepResult(
+            title="t",
+            row_names=["X"],
+            column_sizes=[1024],
+            cells=[[None]],
+            scale=0.25,
+        )
+        assert "<<<" in render_sweep(result)
+
+    def test_figure4_render_marks_too_small_cells(self):
+        from repro.experiments import figure4
+
+        result = figure4.run(
+            max_refs=5_000,
+            benchmarks=("Espresso",),
+            min_size=1024,
+            max_size=4096,
+        )
+        text = figure4.render(result)
+        assert "128B blocks" in text
+
+    def test_table9_render_includes_cache_sizes(self):
+        from repro.experiments import table9
+
+        result = table9.run(max_refs=20_000, benchmarks=("Espresso",))
+        assert "16KB" in table9.render(result)
+
+
+class TestConfigEdges:
+    def test_timing_params_floor_tiny_scales(self):
+        from repro.cpu.configs import experiment
+
+        params = experiment("A").timing_memory_params(scale=1 / 1024)
+        assert params.l1_config.size_bytes >= 4 * params.l1_config.block_bytes
+        assert params.l2_config.size_bytes >= 8 * params.l2_config.block_bytes
+
+    def test_l1_l2_bus_has_no_address_overhead(self):
+        """Section 3.1: multiplexed lines only on the main memory bus."""
+        from repro.cpu.configs import experiment
+
+        params = experiment("A").timing_memory_params()
+        assert params.l1_l2_bus.overhead_beats == 0
+        assert params.l2_mem_bus.overhead_beats == 1
+
+    def test_spec95_f_runs_at_600mhz(self):
+        from repro.cpu.configs import experiment
+
+        assert experiment("F", "SPEC95").processor.clock_mhz == 600
+        assert experiment("F", "SPEC92").processor.clock_mhz == 300
+
+    def test_memory_latency_scales_with_clock(self):
+        """90 ns is more cycles at 600 MHz than at 300 MHz."""
+        from repro.cpu.configs import experiment
+
+        slow = experiment("A", "SPEC92").timing_memory_params()
+        fast = experiment("F", "SPEC95").timing_memory_params()
+        assert fast.memory_access_cycles == 2 * slow.memory_access_cycles
+
+
+class TestHierarchyWithWriteValidateL1:
+    def test_wv_l1_writebacks_flow_down(self):
+        from repro.mem.cache import AllocatePolicy
+
+        configs = [
+            CacheConfig(
+                size_bytes=128,
+                block_bytes=32,
+                allocate=AllocatePolicy.WRITE_VALIDATE,
+                name="L1",
+            ),
+            CacheConfig(size_bytes=2048, block_bytes=32, name="L2"),
+        ]
+        trace = make_trace([0, 4, 8], [True, True, True])
+        result = TraceHierarchy(configs).simulate(trace)
+        # Three validated words flushed as three word-writes into L2.
+        assert result.level_stats[1].writes == 3

@@ -1,0 +1,143 @@
+"""Robustness tests: seed stability, scale invariance, failure injection.
+
+A reproduction whose shapes appear only for one random seed or one scale
+would be an artefact; these tests pin the load-bearing conclusions across
+those knobs, and verify that deliberately corrupted simulator state is
+caught loudly rather than silently producing wrong numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.workloads import get_workload
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_compress_stays_elevated_at_64kb(self, seed):
+        trace = get_workload("Compress").generate(seed=seed, max_refs=80_000)
+        stats = Cache(
+            CacheConfig(size_bytes=16 * 1024, block_bytes=32)
+        ).simulate(trace)
+        assert stats.traffic_ratio > 0.9
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_su2cor_conflicts_are_structural(self, seed):
+        """Su2cor's thrash comes from address layout, not randomness."""
+        trace = get_workload("Su2cor").generate(seed=seed, max_refs=80_000)
+        small = Cache(
+            CacheConfig(size_bytes=4 * 1024, block_bytes=32)
+        ).simulate(trace)
+        big = Cache(
+            CacheConfig(size_bytes=32 * 1024, block_bytes=32)
+        ).simulate(trace)
+        assert small.traffic_ratio > 3 * big.traffic_ratio
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_mtc_bound_holds_for_any_seed(self, seed):
+        for name in ("Compress", "Swm"):
+            trace = get_workload(name).generate(seed=seed, max_refs=40_000)
+            cache = Cache(
+                CacheConfig(size_bytes=8 * 1024, block_bytes=32)
+            ).simulate(trace)
+            mtc = MinimalTrafficCache(MTCConfig(size_bytes=8 * 1024)).simulate(
+                trace
+            )
+            assert mtc.total_traffic_bytes <= cache.total_traffic_bytes
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("scale", [1 / 8, 1 / 4])
+    def test_espresso_collapse_survives_scaling(self, scale):
+        """The working-set collapse must track the scaled cache axis."""
+        workload = get_workload("Espresso", scale=scale)
+        trace = workload.generate(seed=0, max_refs=80_000)
+        small = Cache(
+            CacheConfig(
+                size_bytes=max(128, int(1024 * scale)), block_bytes=32
+            )
+        ).simulate(trace)
+        large_size = max(256, int(64 * 1024 * scale))
+        large = Cache(
+            CacheConfig(size_bytes=large_size, block_bytes=32)
+        ).simulate(trace)
+        assert large.traffic_ratio < 0.5 * small.traffic_ratio
+
+    @pytest.mark.parametrize("scale", [1 / 8, 1 / 4])
+    def test_footprint_tracks_scale(self, scale):
+        workload = get_workload("Tomcatv", scale=scale)
+        trace = workload.generate(seed=0)
+        designed = workload.dataset_bytes()
+        assert designed / 2.5 <= trace.footprint_bytes <= designed * 1.6
+
+
+class TestFailureInjection:
+    def test_corrupted_cache_set_is_detected(self):
+        """Evicting a block that is not resident must raise, not corrupt
+        the traffic accounting silently."""
+        cache = Cache(CacheConfig(size_bytes=128, block_bytes=32))
+        cache.access(0, False)
+        with pytest.raises(SimulationError):
+            cache._evict(0, 999)
+
+    def test_reused_mtc_is_rejected(self):
+        from conftest import make_trace
+
+        mtc = MinimalTrafficCache(MTCConfig(size_bytes=64))
+        mtc.simulate(make_trace([0]))
+        with pytest.raises(SimulationError):
+            mtc.simulate(make_trace([0]))
+
+    def test_cache_simulate_rejects_dirty_state(self, small_trace):
+        cache = Cache(CacheConfig(size_bytes=256, block_bytes=32))
+        cache.access(64, True)
+        with pytest.raises(SimulationError):
+            cache.simulate(small_trace)
+
+    def test_unprepared_min_policy_is_loud(self):
+        config = CacheConfig(
+            size_bytes=128, block_bytes=32, replacement="min"
+        )
+        cache = Cache(config)
+        # Direct per-access use without simulate() (which would prepare
+        # the oracle) must fail fast.
+        with pytest.raises(SimulationError):
+            cache.access(0, False)
+
+    def test_decomposition_rejects_nonsense_cycles(self):
+        from repro.core.decomposition import ExecutionDecomposition
+
+        with pytest.raises(SimulationError):
+            ExecutionDecomposition(100, 50, 200)
+
+
+class TestDeterminism:
+    def test_full_pipeline_is_deterministic(self):
+        """Same seed, same everything: trace, cache stats, decomposition."""
+        from repro.cpu import experiment
+        from repro.cpu.machine import decompose_experiment
+
+        workload = get_workload("Li")
+
+        def run_once():
+            result = decompose_experiment(
+                workload, experiment("D"), seed=3, max_refs=3000
+            )
+            return (
+                result.decomposition.cycles_full,
+                result.full_memory_stats.l1_l2_traffic_bytes,
+            )
+
+        assert run_once() == run_once()
+
+    def test_random_policy_is_seeded(self, small_trace):
+        config = CacheConfig(
+            size_bytes=512, block_bytes=32, associativity=4,
+            replacement="random",
+        )
+        a = Cache(config).simulate(small_trace)
+        b = Cache(config).simulate(small_trace)
+        assert a.fetch_bytes == b.fetch_bytes

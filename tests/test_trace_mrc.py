@@ -1,0 +1,127 @@
+"""Tests for the Mattson stack-algorithm miss-ratio curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.mem.cache import Cache, CacheConfig
+from repro.trace.model import MemTrace
+from repro.trace.mrc import (
+    miss_ratio_curve,
+    predicted_misses,
+    working_set_sizes,
+)
+
+from conftest import make_trace
+
+
+class TestBasics:
+    def test_cold_misses_counted(self):
+        trace = make_trace([0, 32, 64])
+        curve = miss_ratio_curve(trace)
+        assert curve.cold_misses == 3
+        assert curve.compulsory_miss_ratio == 1.0
+
+    def test_immediate_reuse_hits_at_capacity_one(self):
+        trace = make_trace([0, 0, 0])
+        curve = miss_ratio_curve(trace)
+        assert curve.misses_at(1) == 1
+
+    def test_distance_one_needs_capacity_two(self):
+        # A B A: A's reuse distance is 1 — hit needs >= 2 blocks.
+        trace = make_trace([0, 32, 0])
+        curve = miss_ratio_curve(trace)
+        assert curve.misses_at(1) == 3
+        assert curve.misses_at(2) == 2
+
+    def test_monotone_in_capacity(self):
+        trace = make_trace([0, 32, 64, 0, 32, 64] * 5)
+        curve = miss_ratio_curve(trace)
+        ratios = [curve.miss_ratio_at(c) for c in (1, 2, 3, 4, 8)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_floor_is_compulsory(self):
+        trace = make_trace([0, 32, 0, 32])
+        curve = miss_ratio_curve(trace)
+        assert curve.miss_ratio_at(1 << 20) == curve.compulsory_miss_ratio
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TraceError):
+            miss_ratio_curve(make_trace([0]), block_bytes=0)
+        with pytest.raises(TraceError):
+            miss_ratio_curve(make_trace([0])).misses_at(0)
+
+    def test_curve_points(self):
+        trace = make_trace([0, 32, 0, 32])
+        points = miss_ratio_curve(trace).curve([1, 2])
+        assert points[0] == (1, 1.0)
+        assert points[1][1] == pytest.approx(0.5)
+
+
+class TestCrossValidation:
+    """The stack algorithm and the event-driven simulator must agree."""
+
+    @pytest.mark.parametrize("capacity_blocks", [4, 16, 64])
+    def test_exact_match_random_trace(self, rng, capacity_blocks):
+        trace = MemTrace(
+            rng.integers(0, 1024, size=8000) * 4,
+            rng.random(8000) < 0.3,
+        )
+        simulated = Cache(
+            CacheConfig.fully_associative(capacity_blocks * 32, 32)
+        ).simulate(trace)
+        assert predicted_misses(trace, capacity_blocks) == simulated.misses
+
+    @pytest.mark.parametrize(
+        "name", ["Compress", "Espresso", "Swm"]
+    )
+    def test_exact_match_on_workloads(self, name):
+        from repro.workloads import get_workload
+
+        trace = get_workload(name).generate(seed=0, max_refs=30_000)
+        simulated = Cache(
+            CacheConfig.fully_associative(64 * 32, 32)
+        ).simulate(trace)
+        assert predicted_misses(trace, 64) == simulated.misses
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    words=st.lists(st.integers(0, 63), min_size=1, max_size=400),
+    capacity=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_stack_property_holds_everywhere(words, capacity):
+    """Property: prediction equals simulation for arbitrary traces."""
+    trace = MemTrace(
+        np.asarray(words, dtype=np.int64) * 32,
+        np.zeros(len(words), dtype=bool),
+    )
+    simulated = Cache(
+        CacheConfig.fully_associative(capacity * 32, 32)
+    ).simulate(trace)
+    assert predicted_misses(trace, capacity) == simulated.misses
+
+
+class TestWorkingSets:
+    def test_loop_knee_at_loop_size(self):
+        loop = make_trace([i * 32 for i in range(20)] * 30)
+        knees = working_set_sizes(loop, knee_fraction=0.9)
+        assert knees == [20]
+
+    def test_no_reuse_no_knee(self):
+        trace = make_trace([i * 32 for i in range(50)])
+        assert working_set_sizes(trace) == []
+
+    def test_fraction_validated(self):
+        with pytest.raises(TraceError):
+            working_set_sizes(make_trace([0]), knee_fraction=1.5)
+
+    def test_espresso_working_set_is_small(self):
+        """Espresso collapses by the 32KB column of Table 7 because its
+        working-set knee is tiny — visible directly in the curve."""
+        from repro.workloads import get_workload
+
+        trace = get_workload("Espresso").generate(seed=0, max_refs=40_000)
+        knees = working_set_sizes(trace, knee_fraction=0.8)
+        assert knees and knees[0] * 32 < 8 * 1024

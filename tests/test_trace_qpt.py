@@ -1,0 +1,110 @@
+"""Tests for QPT-style splitting and trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.model import MemTrace
+from repro.trace.qpt import (
+    parse_dinero_din,
+    read_trace,
+    split_doublewords,
+    to_dinero_din,
+    write_trace,
+)
+
+
+class TestSplitDoublewords:
+    def test_single_words_unchanged(self):
+        trace = split_doublewords([0, 4], [False, True], [4, 4])
+        assert trace.addresses.tolist() == [0, 4]
+        assert trace.is_write.tolist() == [False, True]
+
+    def test_doubleword_becomes_two_adjacent_words(self):
+        trace = split_doublewords([16], [False], [8])
+        assert trace.addresses.tolist() == [16, 20]
+
+    def test_kind_propagates_to_all_words(self):
+        trace = split_doublewords([16], [True], [8])
+        assert trace.is_write.tolist() == [True, True]
+
+    def test_partial_word_rounds_up(self):
+        trace = split_doublewords([0], [False], [5])
+        assert trace.addresses.tolist() == [0, 4]
+
+    def test_mixed_sizes(self):
+        trace = split_doublewords([0, 100], [False, True], [8, 4])
+        assert trace.addresses.tolist() == [0, 4, 100]
+        assert trace.is_write.tolist() == [False, False, True]
+
+    def test_unaligned_base_word_aligned_first(self):
+        trace = split_doublewords([18], [False], [8])
+        assert trace.addresses.tolist() == [16, 20]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceError):
+            split_doublewords([0], [False], [0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            split_doublewords([0, 4], [False], [4, 4])
+
+
+class TestTraceFiles:
+    def test_round_trip(self, tmp_path, small_trace):
+        path = tmp_path / "trace.npz"
+        write_trace(small_trace, path)
+        loaded = read_trace(path)
+        assert loaded == small_trace
+        assert loaded.name == small_trace.name
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            read_trace(tmp_path / "nope.npz")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(TraceError, match="malformed"):
+            read_trace(path)
+
+    def test_creates_parent_directories(self, tmp_path, small_trace):
+        path = tmp_path / "deep" / "nested" / "trace.npz"
+        write_trace(small_trace, path)
+        assert read_trace(path) == small_trace
+
+
+class TestDineroFormat:
+    def test_round_trip(self, small_trace):
+        text = to_dinero_din(small_trace)
+        parsed = parse_dinero_din(text)
+        assert parsed == small_trace
+
+    def test_labels(self):
+        trace = parse_dinero_din("0 10\n1 20\n")
+        assert trace.addresses.tolist() == [0x10, 0x20]
+        assert trace.is_write.tolist() == [False, True]
+
+    def test_instruction_fetches_dropped(self):
+        trace = parse_dinero_din("2 40\n0 10\n")
+        assert len(trace) == 1
+
+    def test_comments_and_blanks_ignored(self):
+        trace = parse_dinero_din("# header\n\n0 10\n")
+        assert len(trace) == 1
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(TraceError):
+            parse_dinero_din("7 10\n")
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TraceError):
+            parse_dinero_din("0\n")
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(TraceError):
+            parse_dinero_din("0 zz\n")
+
+    def test_empty_input_gives_empty_trace(self):
+        assert len(parse_dinero_din("")) == 0
+        assert to_dinero_din(MemTrace([], [])) == ""

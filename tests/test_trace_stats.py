@@ -1,0 +1,99 @@
+"""Tests for trace statistics (reuse distances, locality measures)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.stats import (
+    compute_stats,
+    reuse_distances,
+    reuse_fraction,
+    sequential_fraction,
+)
+
+from conftest import make_trace
+
+
+class TestReuseDistances:
+    def test_no_reuse_gives_empty(self):
+        trace = make_trace([0, 4, 8, 12])
+        assert reuse_distances(trace).size == 0
+
+    def test_immediate_reuse_distance_zero(self):
+        trace = make_trace([0, 0])
+        assert reuse_distances(trace).tolist() == [0]
+
+    def test_counts_distinct_intervening_blocks(self):
+        # A, B, C, B, A: A's reuse skips B and C (distance 2); B skips C (1).
+        trace = make_trace([0, 4, 8, 4, 0])
+        assert sorted(reuse_distances(trace).tolist()) == [1, 2]
+
+    def test_duplicates_between_touches_counted_once(self):
+        # A, B, B, A: only one distinct block between A's touches.
+        trace = make_trace([0, 4, 4, 0])
+        assert sorted(reuse_distances(trace).tolist()) == [0, 1]
+
+    def test_block_granularity(self):
+        # 0 and 4 share a 32-byte block: at block granularity this is reuse.
+        trace = make_trace([0, 4])
+        assert reuse_distances(trace, block_bytes=32).tolist() == [0]
+        assert reuse_distances(trace, block_bytes=4).size == 0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(TraceError):
+            reuse_distances(make_trace([0]), block_bytes=0)
+
+    def test_matches_naive_on_random_trace(self, rng):
+        addresses = rng.integers(0, 64, size=400) * 4
+        trace = make_trace(addresses)
+        fast = sorted(reuse_distances(trace).tolist())
+        # naive O(N^2) recomputation
+        last = {}
+        naive = []
+        words = (addresses // 4).tolist()
+        for i, w in enumerate(words):
+            if w in last:
+                naive.append(len(set(words[last[w] + 1 : i])))
+            last[w] = i
+        assert fast == sorted(naive)
+
+
+class TestLocalityMeasures:
+    def test_sequential_fraction_of_stream(self):
+        trace = make_trace(np.arange(100) * 4)
+        assert sequential_fraction(trace) == pytest.approx(1.0)
+
+    def test_sequential_fraction_of_random(self, rng):
+        trace = make_trace(rng.integers(0, 100_000, size=5000) * 4)
+        assert sequential_fraction(trace) < 0.01
+
+    def test_sequential_fraction_short_trace(self):
+        assert sequential_fraction(make_trace([0])) == 0.0
+
+    def test_reuse_fraction_bounds(self):
+        assert reuse_fraction(make_trace([0, 4, 8])) == pytest.approx(0.0)
+        assert reuse_fraction(make_trace([0, 0, 0, 0])) == pytest.approx(0.75)
+
+
+class TestComputeStats:
+    def test_basic_fields(self, streaming_trace):
+        stats = compute_stats(streaming_trace)
+        assert stats.references == len(streaming_trace)
+        assert stats.reads + stats.writes == stats.references
+        assert stats.footprint_bytes == streaming_trace.footprint_bytes
+        assert stats.sequential_fraction > 0.9
+
+    def test_write_fraction(self, streaming_trace):
+        stats = compute_stats(streaming_trace)
+        assert stats.write_fraction == pytest.approx(1 / 8, rel=0.01)
+
+    def test_no_reuse_gives_infinite_median(self):
+        stats = compute_stats(make_trace([0, 4, 8, 12]))
+        assert stats.median_reuse_distance == float("inf")
+
+    def test_sampling_path_for_long_traces(self, rng):
+        addresses = rng.integers(0, 1024, size=50_000) * 4
+        trace = make_trace(addresses)
+        stats = compute_stats(trace, reuse_sample_limit=1_000)
+        assert stats.references == 50_000
+        assert np.isfinite(stats.median_reuse_distance)

@@ -1,0 +1,138 @@
+"""Tests for repro.util helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util import (
+    arithmetic_mean,
+    clamp,
+    format_size,
+    format_table,
+    fraction,
+    geometric_mean,
+    is_power_of_two,
+    log2_int,
+    parse_size,
+    powers_of_two,
+    require_power_of_two,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_kilobytes(self):
+        assert parse_size("64KB") == 64 * 1024
+
+    def test_megabytes(self):
+        assert parse_size("2MB") == 2 * 1024 * 1024
+
+    def test_short_suffixes(self):
+        assert parse_size("1K") == 1024
+        assert parse_size("1M") == 1024 * 1024
+        assert parse_size("1G") == 1024 ** 3
+
+    def test_bare_bytes_suffix(self):
+        assert parse_size("32B") == 32
+
+    def test_lower_case_and_whitespace(self):
+        assert parse_size("  16kb ") == 16 * 1024
+
+    def test_fractional_that_resolves_to_whole_bytes(self):
+        assert parse_size("0.5KB") == 512
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("0.3B")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("lots")
+
+
+class TestFormatSize:
+    def test_round_trip_with_parse(self):
+        for size in (32, 1024, 64 * 1024, 2 * 1024 * 1024):
+            assert parse_size(format_size(size)) == size
+
+    def test_non_multiple_stays_in_bytes(self):
+        assert format_size(1536) == "1536B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_size(-4)
+
+
+class TestPowersOfTwo:
+    def test_predicate(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-8)
+
+    def test_require_returns_value(self):
+        assert require_power_of_two(64, "x") == 64
+
+    def test_require_raises_with_name(self):
+        with pytest.raises(ConfigurationError, match="blocks"):
+            require_power_of_two(48, "blocks")
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(65536) == 16
+
+    def test_range(self):
+        assert powers_of_two(1024, 8192) == [1024, 2048, 4096, 8192]
+
+    def test_single_element_range(self):
+        assert powers_of_two(64, 64) == [64]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            powers_of_two(4096, 1024)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arithmetic_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSmallHelpers:
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ConfigurationError):
+            clamp(1, 2, 0)
+
+    def test_fraction_zero_denominator(self):
+        assert fraction(5, 0) == 0.0
+        assert fraction(1, 2) == 0.5
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]

@@ -1,0 +1,150 @@
+"""Tests for the workload registry and generation contract."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    DEFAULT_SCALE,
+    all_workloads,
+    get_workload,
+    table3_rows,
+    workload_names,
+)
+from repro.workloads.base import SyntheticWorkload
+
+
+class TestRegistry:
+    def test_fourteen_benchmarks(self):
+        assert len(workload_names()) == 14
+
+    def test_suite_split_matches_paper(self):
+        assert len(workload_names("SPEC92")) == 7
+        assert len(workload_names("SPEC95")) == 7
+
+    def test_spec92_names(self):
+        assert workload_names("SPEC92") == [
+            "Compress", "Dnasa2", "Eqntott", "Espresso",
+            "Su2cor", "Swm", "Tomcatv",
+        ]
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_names("SPEC2000")
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("compress").name == "Compress"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(WorkloadError, match="compress"):
+            get_workload("gcc")
+
+    def test_all_workloads_instantiates_at_scale(self):
+        for workload in all_workloads(scale=0.125):
+            assert workload.scale == 0.125
+
+
+class TestGenerationContract:
+    def test_deterministic_for_seed(self):
+        a = get_workload("Li").generate(seed=9)
+        b = get_workload("Li").generate(seed=9)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = get_workload("Compress").generate(seed=1, max_refs=5000)
+        b = get_workload("Compress").generate(seed=2, max_refs=5000)
+        assert a != b
+
+    def test_max_refs_truncates(self):
+        trace = get_workload("Swm").generate(seed=0, max_refs=1000)
+        assert len(trace) == 1000
+
+    def test_invalid_max_refs(self):
+        with pytest.raises(WorkloadError):
+            get_workload("Swm").generate(max_refs=0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            get_workload("Swm", scale=0.0)
+
+    def test_trace_carries_benchmark_name(self):
+        assert get_workload("Tomcatv").generate(max_refs=100).name == "Tomcatv"
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_generates(self, name):
+        workload = get_workload(name, scale=1 / 16)
+        trace = workload.generate(seed=0, max_refs=20_000)
+        assert len(trace) > 0
+        assert 0.0 < trace.write_count / len(trace) < 0.6
+
+
+class TestFootprints:
+    @pytest.mark.parametrize("name", workload_names("SPEC92"))
+    def test_footprint_tracks_designed_dataset(self, name):
+        """Generated footprints stay within 2x of the scaled Table 3 size."""
+        workload = get_workload(name)
+        trace = workload.generate(seed=0)
+        designed = workload.dataset_bytes()
+        assert designed / 2.2 <= trace.footprint_bytes <= designed * 1.6
+
+    def test_dataset_bytes_scales_linearly(self):
+        quarter = get_workload("Tomcatv", scale=0.25).dataset_bytes()
+        eighth = get_workload("Tomcatv", scale=0.125).dataset_bytes()
+        assert quarter == pytest.approx(2 * eighth, rel=0.01)
+
+
+class TestTable3Metadata:
+    def test_rows_cover_every_benchmark(self):
+        rows = table3_rows()
+        assert {row["benchmark"] for row in rows} == set(workload_names())
+
+    def test_paper_values_present(self):
+        rows = {row["benchmark"]: row for row in table3_rows()}
+        assert rows["Compress"]["paper_refs_millions"] == 21.9
+        assert rows["Tomcatv"]["paper_dataset_mb"] == 3.67
+        assert rows["Perl"]["input"] == "jumble.pl"
+
+
+class TestLocalityStructure:
+    """Each model must exhibit the locality the paper attributes to it."""
+
+    def test_compress_probes_lack_spatial_locality(self):
+        from repro.trace.stats import sequential_fraction
+
+        trace = get_workload("Compress").generate(seed=0, max_refs=50_000)
+        assert sequential_fraction(trace) < 0.6
+
+    def test_swm_is_streaming(self):
+        from repro.trace.stats import reuse_fraction
+
+        trace = get_workload("Swm").generate(seed=0)
+        # every word revisited by later passes: high reuse overall
+        assert reuse_fraction(trace) > 0.5
+
+    def test_espresso_has_tiny_working_set(self):
+        trace = get_workload("Espresso").generate(seed=0)
+        assert trace.footprint_bytes < 16 * 1024
+
+    def test_li_is_cache_bound(self):
+        trace = get_workload("Li").generate(seed=0)
+        assert trace.footprint_bytes < 64 * 1024
+
+    def test_tomcatv_has_largest_spec92_footprint(self):
+        footprints = {
+            name: get_workload(name).generate(seed=0).footprint_bytes
+            for name in workload_names("SPEC92")
+        }
+        assert max(footprints, key=footprints.get) == "Tomcatv"
+
+
+class TestBaseClassContract:
+    def test_build_must_not_be_empty(self):
+        class Empty(SyntheticWorkload):
+            name = "Empty"
+
+            def _build(self, rng):
+                import numpy as np
+
+                return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+
+        with pytest.raises(WorkloadError):
+            Empty(scale=DEFAULT_SCALE).generate()
