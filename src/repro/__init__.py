@@ -16,6 +16,9 @@ The library provides four layers:
 
 :mod:`repro.experiments` regenerates every table and figure of the paper's
 evaluation; see DESIGN.md for the per-experiment index.
+:mod:`repro.obs` is the cross-cutting instrumentation layer — metrics
+registry, structured event tracing, and the experiment profiler behind
+``python -m repro profile`` (see docs/observability.md).
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from repro.mem.cache import (
 )
 from repro.mem.hierarchy import HierarchyResult, TraceHierarchy
 from repro.mem.mtc import MinimalTrafficCache, MTCConfig, minimal_traffic_bytes
+from repro.obs import OBS, Instrumentation, MetricsRegistry
 from repro.trace.model import MemRecord, MemTrace, WORD_BYTES
 from repro.workloads import all_workloads, get_workload, workload_names
 
@@ -85,6 +89,10 @@ __all__ = [
     "MinimalTrafficCache",
     "MTCConfig",
     "minimal_traffic_bytes",
+    # observability
+    "OBS",
+    "Instrumentation",
+    "MetricsRegistry",
     # metrics
     "ExecutionDecomposition",
     "decompose",

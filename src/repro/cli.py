@@ -14,6 +14,14 @@ Commands
     paper's machines A-F.
 ``stats WORKLOAD``
     Print trace statistics (footprint, locality measures).
+``profile EXPERIMENT``
+    Run one experiment under the instrumentation layer and print a
+    stage/throughput profile; writes machine-readable
+    ``BENCH_profile.json``.
+
+Every simulation command also accepts the observability flags
+``--verbose`` (structured event logging on stderr) and
+``--trace-events PATH`` (JSONL event export); see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import importlib
 import sys
 from collections.abc import Sequence
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.util import format_size, parse_size
 
 #: Experiment name -> module path (all expose run()/render()).
@@ -46,6 +54,30 @@ EXPERIMENT_MODULES = {
 }
 
 
+def positive_int(text: str) -> int:
+    """argparse type for ``--max-refs``: a strictly positive integer.
+
+    Zero would silently simulate nothing and negative values would be
+    passed to numpy slicing with surprising semantics, so both are
+    rejected up front (backed by the library's ConfigurationError so the
+    message matches every other configuration failure).
+    """
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from exc
+    try:
+        if value <= 0:
+            raise ConfigurationError(
+                f"must be a positive reference count, got {value}"
+            )
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,18 +88,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Observability flags shared by every simulation-running command.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--verbose",
+        action="store_true",
+        help="structured event logging on stderr",
+    )
+    obs_flags.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help="write simulation events as JSONL to PATH",
+    )
+
     sub.add_parser("list", help="list experiments and workloads")
 
-    experiment = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment = sub.add_parser(
+        "experiment", parents=[obs_flags], help="regenerate a table/figure"
+    )
     experiment.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
     experiment.add_argument(
         "--max-refs",
-        type=int,
+        type=positive_int,
         default=None,
         help="bound the references per benchmark (speed/fidelity knob)",
     )
 
-    simulate = sub.add_parser("simulate", help="run a workload through a cache")
+    simulate = sub.add_parser(
+        "simulate", parents=[obs_flags], help="run a workload through a cache"
+    )
     simulate.add_argument("workload")
     simulate.add_argument("--size", default="16KB", help="cache size (e.g. 64KB)")
     simulate.add_argument("--block", type=int, default=32, help="block bytes")
@@ -75,24 +125,47 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--mtc", action="store_true", help="also run the minimal-traffic cache"
     )
-    simulate.add_argument("--max-refs", type=int, default=200_000)
+    simulate.add_argument("--max-refs", type=positive_int, default=200_000)
     simulate.add_argument("--seed", type=int, default=0)
 
     decompose = sub.add_parser(
-        "decompose", help="execution-time decomposition on a machine A-F"
+        "decompose",
+        parents=[obs_flags],
+        help="execution-time decomposition on a machine A-F",
     )
     decompose.add_argument("workload")
     decompose.add_argument(
         "--experiment", default="F", choices=list("ABCDEF"), dest="machine"
     )
     decompose.add_argument("--suite", default=None, choices=["SPEC92", "SPEC95"])
-    decompose.add_argument("--max-refs", type=int, default=20_000)
+    decompose.add_argument("--max-refs", type=positive_int, default=20_000)
     decompose.add_argument("--seed", type=int, default=0)
 
-    stats = sub.add_parser("stats", help="trace statistics for a workload")
+    stats = sub.add_parser(
+        "stats", parents=[obs_flags], help="trace statistics for a workload"
+    )
     stats.add_argument("workload")
-    stats.add_argument("--max-refs", type=int, default=200_000)
+    stats.add_argument("--max-refs", type=positive_int, default=200_000)
     stats.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser(
+        "profile",
+        parents=[obs_flags],
+        help="profile one experiment run (stages, throughput, counters)",
+    )
+    profile.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
+    profile.add_argument(
+        "--max-refs",
+        type=positive_int,
+        default=None,
+        help="bound the references per benchmark (speed/fidelity knob)",
+    )
+    profile.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_profile.json",
+        help="machine-readable profile destination (default: BENCH_profile.json)",
+    )
 
     return parser
 
@@ -172,6 +245,21 @@ def _cmd_decompose(args, out) -> None:
     print(f"IPC (full): {result.full.ipc:.2f}", file=out)
 
 
+def _cmd_profile(args, out) -> None:
+    from repro.obs.profiler import (
+        profile_experiment,
+        render_profile,
+        write_profile,
+    )
+
+    profile, rendered = profile_experiment(args.name, max_refs=args.max_refs)
+    print(rendered, file=out)
+    print(file=out)
+    print(render_profile(profile), file=out)
+    write_profile(profile, args.output)
+    print(f"\nwrote {args.output}", file=out)
+
+
 def _cmd_stats(args, out) -> None:
     from repro.trace.stats import compute_stats
     from repro.workloads import get_workload
@@ -190,11 +278,41 @@ def _cmd_stats(args, out) -> None:
     print(f"median reuse dist.:  {stats.median_reuse_distance:g} words", file=out)
 
 
+def _configure_observability(args) -> bool:
+    """Enable the instrumentation layer when any obs flag was given.
+
+    Returns True when observability was turned on (the caller must
+    disable it again so the process-wide facade returns to its
+    zero-overhead default). With no flags the facade is never touched —
+    command output stays byte-identical to an uninstrumented build.
+    """
+    verbose = getattr(args, "verbose", False)
+    trace_path = getattr(args, "trace_events", None)
+    if not verbose and not trace_path:
+        return False
+    from repro import obs
+
+    sinks: list[obs.EventSink] = []
+    if trace_path:
+        try:
+            sinks.append(obs.JsonlSink(trace_path))
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot open --trace-events path {trace_path!r}: {exc}"
+            ) from exc
+    if verbose:
+        sinks.append(obs.StderrSink())
+    obs.configure(sink=sinks[0] if len(sinks) == 1 else obs.MultiSink(sinks))
+    return True
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    observing = False
     try:
+        observing = _configure_observability(args)
         if args.command == "list":
             _cmd_list(out)
         elif args.command == "experiment":
@@ -205,7 +323,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             _cmd_decompose(args, out)
         elif args.command == "stats":
             _cmd_stats(args, out)
+        elif args.command == "profile":
+            _cmd_profile(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if observing:
+            from repro import obs
+
+            obs.disable()
     return 0

@@ -16,6 +16,7 @@ from repro.cpu.branch import TwoLevelPredictor
 from repro.cpu.isa import NO_REG, NUM_REGS, OP_LATENCY, InstructionTrace, OpClass
 from repro.errors import ConfigurationError
 from repro.mem.timing import TimingMemory
+from repro.obs import OBS
 
 #: Cycles from branch resolution to useful fetch after a misprediction.
 MISPREDICT_PENALTY = 3
@@ -75,6 +76,7 @@ class InOrderCore:
         last_completion = 0
         mispredictions = 0
         branches = 0
+        operand_stall_cycles = 0
 
         load_op = int(OpClass.LOAD)
         store_op = int(OpClass.STORE)
@@ -92,6 +94,7 @@ class InOrderCore:
 
             # In-order issue: never before the current issue cycle.
             if earliest > cycle:
+                operand_stall_cycles += earliest - cycle
                 cycle = earliest
                 slots_used = 0
                 mem_slots_used = 0
@@ -131,9 +134,25 @@ class InOrderCore:
                     slots_used = 0
                     mem_slots_used = 0
 
-        return CoreResult(
+        result = CoreResult(
             cycles=max(1, last_completion),
             instructions=len(opclasses),
             branch_mispredictions=mispredictions,
             branches=branches,
         )
+        if OBS.enabled:
+            OBS.count("core.runs")
+            OBS.count("core.instructions", result.instructions)
+            OBS.count("core.cycles", result.cycles)
+            OBS.count("core.branches", branches)
+            OBS.count("core.mispredictions", mispredictions)
+            OBS.count("core.operand_stall_cycles", operand_stall_cycles)
+            OBS.emit(
+                "core.run",
+                core="inorder",
+                cycles=result.cycles,
+                instructions=result.instructions,
+                mispredictions=mispredictions,
+                operand_stall_cycles=operand_stall_cycles,
+            )
+        return result

@@ -8,6 +8,7 @@ paths, full system — and produces the paper's (T_P, T_I, T) triple as an
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.decomposition import ExecutionDecomposition, decompose
@@ -18,6 +19,7 @@ from repro.cpu.isa import InstructionTrace
 from repro.cpu.itrace import instruction_trace_for_workload
 from repro.cpu.ooo import OutOfOrderCore
 from repro.mem.timing import MemoryMode, TimingMemory, TimingMemoryStats
+from repro.obs import OBS
 from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
 
 
@@ -61,7 +63,21 @@ class Machine:
                 issue_width=processor.issue_width,
                 mem_ports=processor.mem_ports,
             )
-        return core.run(trace), memory.stats
+        if not OBS.enabled:
+            return core.run(trace), memory.stats
+        with OBS.span("machine.mode", mode=mode.value, config=self.config.name):
+            start = time.perf_counter()
+            result = core.run(trace)
+            OBS.observe(f"machine.mode.{mode.value}", time.perf_counter() - start)
+        OBS.emit(
+            "machine.result",
+            mode=mode.value,
+            config=self.config.name,
+            trace=trace.name,
+            cycles=result.cycles,
+            instructions=result.instructions,
+        )
+        return result, memory.stats
 
     def run(self, trace: InstructionTrace) -> MachineResult:
         """Run the three-simulation decomposition protocol on *trace*."""

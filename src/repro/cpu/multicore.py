@@ -27,6 +27,7 @@ from repro.cpu.itrace import instruction_trace_for_workload
 from repro.errors import ConfigurationError
 from repro.mem.cache import Cache
 from repro.mem.timing import MemoryMode, TimingMemory
+from repro.obs import OBS
 from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
 
 #: Address-space separation between cores' copies of the workload.
@@ -234,7 +235,7 @@ class ChipMultiprocessor:
                         if redirect > core_state["fetch_avail"]:
                             core_state["fetch_avail"] = redirect
 
-        return [
+        outcomes = [
             CoreOutcome(
                 core=core,
                 cycles=max(1, core_state["last"]),
@@ -242,6 +243,18 @@ class ChipMultiprocessor:
             )
             for core, core_state in enumerate(state)
         ]
+        if OBS.enabled:
+            OBS.count("cmp.runs")
+            OBS.count("cmp.core_instructions", n * core_count)
+            for outcome in outcomes:
+                OBS.emit(
+                    "cmp.core",
+                    cores=core_count,
+                    core=outcome.core,
+                    cycles=outcome.cycles,
+                    instructions=outcome.instructions,
+                )
+        return outcomes
 
 
 def cmp_scaling(

@@ -23,6 +23,7 @@ from repro.cpu.inorder import MISPREDICT_PENALTY, CoreResult
 from repro.cpu.isa import NO_REG, NUM_REGS, OP_LATENCY, InstructionTrace, OpClass
 from repro.errors import ConfigurationError
 from repro.mem.timing import TimingMemory
+from repro.obs import OBS
 
 
 class OutOfOrderCore:
@@ -90,6 +91,7 @@ class OutOfOrderCore:
         branches = 0
         mem_op_count = 0
         last_address = 0
+        slot_wait_cycles = 0
 
         load_op = int(OpClass.LOAD)
         store_op = int(OpClass.STORE)
@@ -134,6 +136,7 @@ class OutOfOrderCore:
                 is_mem and mem_slots[issue] >= mem_ports
             ):
                 issue += 1
+            slot_wait_cycles += issue - ready
             issue_slots[issue] += 1
             if is_mem:
                 mem_slots[issue] += 1
@@ -193,9 +196,25 @@ class OutOfOrderCore:
                     for c in stale:
                         del table[c]
 
-        return CoreResult(
+        result = CoreResult(
             cycles=max(1, last_completion),
             instructions=n,
             branch_mispredictions=mispredictions,
             branches=branches,
         )
+        if OBS.enabled:
+            OBS.count("core.runs")
+            OBS.count("core.instructions", n)
+            OBS.count("core.cycles", result.cycles)
+            OBS.count("core.branches", branches)
+            OBS.count("core.mispredictions", mispredictions)
+            OBS.count("core.issue_slot_wait_cycles", slot_wait_cycles)
+            OBS.emit(
+                "core.run",
+                core="ooo",
+                cycles=result.cycles,
+                instructions=n,
+                mispredictions=mispredictions,
+                issue_slot_wait_cycles=slot_wait_cycles,
+            )
+        return result

@@ -11,10 +11,12 @@ scaled ones.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 from repro.util import format_size, powers_of_two, require_power_of_two
 from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
 
@@ -116,15 +118,35 @@ def sweep_grid(
     """
     size_list = list(sizes) if sizes is not None else list(axis.paper_sizes)
     full = full_rows or set()
+    observed = OBS.enabled
     rows: list[list[float | None]] = []
-    for workload in workloads:
-        row: list[float | None] = []
-        for paper_size in size_list:
-            if workload.name not in full and axis.is_too_big(paper_size, workload):
-                row.append(None)
-            else:
-                row.append(measure(workload, axis.simulated_size(paper_size)))
-        rows.append(row)
+    with OBS.span("sweep", title=title):
+        for workload in workloads:
+            row: list[float | None] = []
+            for paper_size in size_list:
+                if workload.name not in full and axis.is_too_big(
+                    paper_size, workload
+                ):
+                    row.append(None)
+                    continue
+                simulated = axis.simulated_size(paper_size)
+                if not observed:
+                    row.append(measure(workload, simulated))
+                    continue
+                start = time.perf_counter()
+                value = measure(workload, simulated)
+                OBS.observe("sweep.measure", time.perf_counter() - start)
+                OBS.count("sweep.cells")
+                OBS.emit(
+                    "sweep.cell",
+                    title=title,
+                    workload=workload.name,
+                    paper_size=paper_size,
+                    simulated_size=simulated,
+                    value=value,
+                )
+                row.append(value)
+            rows.append(row)
     return SweepResult(
         title=title,
         row_names=[w.name for w in workloads],

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.mem.policies import ReplacementPolicy, make_policy
+from repro.obs import OBS
 from repro.trace.model import MemTrace, WORD_BYTES
 from repro.util import format_size, require_power_of_two
 
@@ -352,6 +353,13 @@ class Cache:
                 self.listener(
                     "writeback", block * self.config.block_bytes, cost
                 )
+        if OBS.enabled and OBS.sink.enabled:
+            OBS.emit(
+                "cache.evict",
+                cache=self.config.name,
+                block=block,
+                dirty=bool(line.dirty_mask),
+            )
         self._policy.on_evict(set_index, block)
 
     def _writeback_cost(self, line: _Line) -> int:
@@ -402,6 +410,7 @@ class Cache:
             )
         if self._fast_path_eligible():
             self.stats = _simulate_direct_mapped_writeback(self.config, trace, flush)
+            self._record_run(trace)
             return self.stats
         if self._policy.needs_future:
             self._policy.prepare(trace.addresses // self.config.block_bytes)
@@ -412,7 +421,32 @@ class Cache:
             access(address, write)
         if flush:
             self.flush()
+        self._record_run(trace)
         return self.stats
+
+    def _record_run(self, trace: MemTrace) -> None:
+        """Aggregate one simulate() run into the instrumentation layer."""
+        if not OBS.enabled:
+            return
+        stats = self.stats
+        OBS.count("cache.simulations")
+        OBS.count("cache.accesses", stats.accesses)
+        OBS.count("cache.misses", stats.misses)
+        OBS.count("cache.fetch_bytes", stats.fetch_bytes)
+        OBS.count(
+            "cache.writeback_bytes",
+            stats.writeback_bytes + stats.flush_writeback_bytes,
+        )
+        OBS.count("cache.writethrough_bytes", stats.writethrough_bytes)
+        OBS.emit(
+            "cache.simulate",
+            cache=self.config.name,
+            config=self.config.describe(),
+            trace=trace.name,
+            accesses=stats.accesses,
+            misses=stats.misses,
+            traffic_bytes=stats.total_traffic_bytes,
+        )
 
     def _fast_path_eligible(self) -> bool:
         config = self.config

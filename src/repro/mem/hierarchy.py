@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mem.cache import Cache, CacheConfig, CacheStats
+from repro.obs import OBS
 from repro.trace.model import MemTrace, WORD_BYTES
 
 
@@ -84,11 +85,24 @@ class TraceHierarchy:
             cache = Cache(config, listener=listen)
             stats.append(cache.simulate(current, flush=flush))
             current = _events_to_trace(events, name=f"{trace.name}:below-L{level + 1}")
-        return HierarchyResult(
+        result = HierarchyResult(
             configs=self.configs,
             level_stats=tuple(stats),
             request_bytes=trace.request_bytes,
         )
+        if OBS.enabled:
+            OBS.count("hierarchy.simulations")
+            for level, (config, level_stats) in enumerate(
+                zip(self.configs, result.level_stats)
+            ):
+                OBS.emit(
+                    "hierarchy.level",
+                    level=level + 1,
+                    config=config.describe(),
+                    trace=trace.name,
+                    traffic_bytes=level_stats.total_traffic_bytes,
+                )
+        return result
 
 
 def _events_to_trace(

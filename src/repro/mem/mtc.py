@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError, SimulationError
 from repro.mem.cache import AllocatePolicy, CacheStats
 from repro.mem.policies import NEVER, compute_next_use
+from repro.obs import OBS
 from repro.trace.model import MemTrace, WORD_BYTES
 from repro.util import format_size, require_power_of_two
 
@@ -195,6 +196,20 @@ class MinimalTrafficCache:
                     else:
                         flushed += block_bytes
             stats.flush_writeback_bytes = flushed
+
+        if OBS.enabled:
+            OBS.count("mtc.simulations")
+            OBS.count("mtc.accesses", stats.accesses)
+            OBS.count("mtc.misses", stats.misses)
+            OBS.count("mtc.traffic_bytes", stats.total_traffic_bytes)
+            OBS.emit(
+                "mtc.simulate",
+                config=config.describe(),
+                trace=trace.name,
+                accesses=stats.accesses,
+                misses=stats.misses,
+                traffic_bytes=stats.total_traffic_bytes,
+            )
         return stats
 
     def __repr__(self) -> str:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.mem.cache import Cache, CacheConfig
+from repro.obs import OBS
 from repro.trace.model import WORD_BYTES
 
 
@@ -61,13 +62,19 @@ class BusSpec:
 class TimingBus:
     """A bus with an earliest-free cursor (FCFS occupancy model)."""
 
-    __slots__ = ("spec", "infinite", "next_free", "busy_cycles")
+    __slots__ = (
+        "spec", "infinite", "next_free", "busy_cycles",
+        "name", "_ctr_transfers", "_ctr_busy",
+    )
 
-    def __init__(self, spec: BusSpec, *, infinite: bool) -> None:
+    def __init__(self, spec: BusSpec, *, infinite: bool, name: str = "bus") -> None:
         self.spec = spec
         self.infinite = infinite
         self.next_free = 0
         self.busy_cycles = 0
+        self.name = name
+        self._ctr_transfers = f"bus.{name}.transfers"
+        self._ctr_busy = f"bus.{name}.busy_cycles"
 
     def transfer(self, request_time: int, nbytes: int) -> tuple[int, int]:
         """Schedule a transfer; returns (first_beat_done, all_done).
@@ -87,6 +94,17 @@ class TimingBus:
         end = start + duration
         self.next_free = end
         self.busy_cycles += duration
+        if OBS.enabled:
+            OBS.count(self._ctr_transfers)
+            OBS.count(self._ctr_busy, duration)
+            OBS.emit(
+                "bus.transfer",
+                bus=self.name,
+                nbytes=nbytes,
+                request=request_time,
+                start=start,
+                end=end,
+            )
         return start + self.spec.proc_cycles_per_beat, end
 
 
@@ -139,8 +157,8 @@ class TimingMemory:
         infinite = mode is not MemoryMode.FULL
         self._l1 = Cache(params.l1_config, listener=self._on_l1_event)
         self._l2 = Cache(params.l2_config, listener=self._on_l2_event)
-        self._l1_l2 = TimingBus(params.l1_l2_bus, infinite=infinite)
-        self._l2_mem = TimingBus(params.l2_mem_bus, infinite=infinite)
+        self._l1_l2 = TimingBus(params.l1_l2_bus, infinite=infinite, name="l1_l2")
+        self._l2_mem = TimingBus(params.l2_mem_bus, infinite=infinite, name="l2_mem")
         self._now = 0
         self._in_l1_writeback = False
         #: Outstanding fills: block -> (fill_time, mshr_release_time).
@@ -201,6 +219,8 @@ class TimingMemory:
                 # The block's fill is still in flight: this reference
                 # merges into the outstanding miss and waits for the data.
                 self.stats.mshr_merges += 1
+                if OBS.enabled:
+                    OBS.count("mshr.merges")
                 completion = max(completion, pending[0])
             if params.tagged_prefetch and block in self._prefetch_tags:
                 # First demand reference to a prefetched block: tag fires.
@@ -210,6 +230,8 @@ class TimingMemory:
 
         # ---- L1 miss ----
         self.stats.l1_misses += 1
+        if OBS.enabled:
+            OBS.count("timing.l1_misses")
 
         start = self._allocate_mshr(time)
         fill_time, release = self._fetch_into_l1(start, address)
@@ -253,6 +275,10 @@ class TimingMemory:
             return time
         earliest = min(releases)
         self.stats.mshr_stall_cycles += earliest - time
+        if OBS.enabled:
+            OBS.count("mshr.stalls")
+            OBS.count("mshr.stall_cycles", earliest - time)
+            OBS.emit("mshr.stall", at=time, until=earliest)
         return earliest
 
     def _register_mshr(self, block: int, fill_time: int, release: int) -> None:
@@ -280,6 +306,8 @@ class TimingMemory:
             data_at_l2 = l2_ready
         else:
             self.stats.l2_misses += 1
+            if OBS.enabled:
+                OBS.count("timing.l2_misses")
             self._l2.access(block_addr, False)
             l2_block = params.l2_config.block_bytes
             mem_done_first, mem_done_all = self._l2_mem.transfer(
@@ -303,8 +331,12 @@ class TimingMemory:
         if len(releases) >= params.mshr_count:
             # No MSHR to spare: drop rather than stall the processor.
             self.stats.prefetches_dropped += 1
+            if OBS.enabled:
+                OBS.count("prefetch.dropped")
             return
         self.stats.prefetches_issued += 1
+        if OBS.enabled:
+            OBS.count("prefetch.issued")
         fill_time, release = self._fetch_into_l1(time, address)
         self._register_mshr(block, fill_time, release)
         self._l1.access(address, False)

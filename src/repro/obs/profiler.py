@@ -1,0 +1,205 @@
+"""Experiment profiling harness: wall-clock, throughput, per-stage timing.
+
+Wraps one experiment module (``repro.experiments.<name>``) in the
+instrumentation layer, times its import/run/render stages, and produces a
+:class:`RunProfile` — printed as a human table by :func:`render_profile`
+and written as machine-readable JSON (``BENCH_profile.json``) by
+:func:`write_profile`. The JSON trail is the repo's performance
+trajectory: each committed baseline lets a later PR prove a hot path got
+faster (or catch that it got slower).
+
+Schema ``repro.profile/v1``::
+
+    {
+      "schema": "repro.profile/v1",
+      "experiment": "table2",
+      "max_refs": 5000,
+      "wall_seconds": 1.234,
+      "stages": [{"name": "run", "seconds": 1.2}, ...],
+      "references": 123456,          # word refs simulated (cache + MTC)
+      "refs_per_second": 101234.5,   # references / run-stage seconds
+      "counters": {...},             # deterministic under a fixed seed
+      "timers": {...},               # percentile summaries, wall clock
+      "python": "3.12.3"
+    }
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs import OBS, EventSink, instrumented
+from repro.util import fraction
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "StageTiming",
+    "RunProfile",
+    "profile_experiment",
+    "render_profile",
+    "write_profile",
+]
+
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: Counters summed into the profile's simulated-reference throughput.
+_REFERENCE_COUNTERS = ("cache.accesses", "mtc.accesses")
+
+
+@dataclass(frozen=True, slots=True)
+class StageTiming:
+    """Wall-clock seconds spent in one named stage of a run."""
+
+    name: str
+    seconds: float
+
+
+@dataclass(slots=True)
+class RunProfile:
+    """Everything measured about one profiled experiment run."""
+
+    experiment: str
+    max_refs: int | None
+    wall_seconds: float
+    stages: list[StageTiming]
+    counters: dict[str, int]
+    timers: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def references(self) -> int:
+        """Word references simulated, summed over all cache engines."""
+        return sum(self.counters.get(name, 0) for name in _REFERENCE_COUNTERS)
+
+    @property
+    def run_seconds(self) -> float:
+        for stage in self.stages:
+            if stage.name == "run":
+                return stage.seconds
+        return self.wall_seconds
+
+    @property
+    def refs_per_second(self) -> float:
+        return fraction(self.references, self.run_seconds)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "experiment": self.experiment,
+            "max_refs": self.max_refs,
+            "wall_seconds": self.wall_seconds,
+            "stages": [
+                {"name": stage.name, "seconds": stage.seconds}
+                for stage in self.stages
+            ],
+            "references": self.references,
+            "refs_per_second": self.refs_per_second,
+            "counters": self.counters,
+            "timers": self.timers,
+            "python": platform.python_version(),
+        }
+
+
+def _run_kwargs(run, max_refs: int | None) -> dict[str, object]:
+    """Pass ``max_refs`` only to experiments whose run() accepts it."""
+    if max_refs is None:
+        return {}
+    parameters = inspect.signature(run).parameters
+    return {"max_refs": max_refs} if "max_refs" in parameters else {}
+
+
+def profile_experiment(
+    name: str,
+    *,
+    max_refs: int | None = None,
+    sink: EventSink | None = None,
+) -> tuple[RunProfile, str]:
+    """Run experiment *name* under full instrumentation.
+
+    Returns ``(profile, rendered_table)`` where *rendered_table* is the
+    experiment's normal output (so a profiled run still shows its
+    results). A fresh metrics registry is installed for the duration; the
+    previous :data:`~repro.obs.OBS` state is restored afterwards. When
+    *sink* is None, any sink already attached to OBS (for example by the
+    CLI's ``--trace-events``) keeps receiving events.
+    """
+    module_path = f"repro.experiments.{name}"
+    overall_start = time.perf_counter()
+    stages: list[StageTiming] = []
+
+    def staged(stage_name: str, fn):
+        with OBS.span("stage", stage=stage_name):
+            start = time.perf_counter()
+            result = fn()
+            stages.append(StageTiming(stage_name, time.perf_counter() - start))
+        return result
+
+    with instrumented(sink=sink):
+        try:
+            module = staged(
+                "import", lambda: importlib.import_module(module_path)
+            )
+        except ImportError as exc:
+            raise ConfigurationError(f"no experiment named {name!r}") from exc
+        result = staged(
+            "run", lambda: module.run(**_run_kwargs(module.run, max_refs))
+        )
+        rendered = staged("render", lambda: module.render(result))
+        snapshot = OBS.registry.snapshot()
+
+    profile = RunProfile(
+        experiment=name,
+        max_refs=max_refs,
+        wall_seconds=time.perf_counter() - overall_start,
+        stages=stages,
+        counters=snapshot["counters"],
+        timers=snapshot["timers"],
+    )
+    return profile, rendered
+
+
+def render_profile(profile: RunProfile) -> str:
+    """The human-readable run profile printed by ``repro profile``."""
+    from repro.util import format_table
+
+    lines = [
+        f"profile: {profile.experiment}"
+        + (f" (max_refs={profile.max_refs:,})" if profile.max_refs else ""),
+        "",
+    ]
+    rows = [
+        [
+            stage.name,
+            f"{stage.seconds:.3f}s",
+            f"{fraction(stage.seconds, profile.wall_seconds):.1%}",
+        ]
+        for stage in profile.stages
+    ]
+    rows.append(["total", f"{profile.wall_seconds:.3f}s", "100.0%"])
+    lines.append(format_table(["stage", "seconds", "share"], rows))
+    lines.append("")
+    lines.append(
+        f"references simulated: {profile.references:,} "
+        f"({profile.refs_per_second:,.0f} refs/sec)"
+    )
+    hot = sorted(
+        profile.counters.items(), key=lambda item: item[1], reverse=True
+    )[:8]
+    if hot:
+        lines.append("top counters:")
+        width = max(len(name) for name, _ in hot)
+        for counter_name, value in hot:
+            lines.append(f"  {counter_name:<{width}s}  {value:,}")
+    return "\n".join(lines)
+
+
+def write_profile(profile: RunProfile, path: str) -> None:
+    """Write the machine-readable profile JSON (sorted keys, indented)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(profile.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

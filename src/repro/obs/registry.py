@@ -1,0 +1,221 @@
+"""Metrics registry: counters, gauges, and timers with percentile summaries.
+
+The registry is the *aggregate* half of the observability layer (the
+per-event half lives in :mod:`repro.obs.events`). Simulators increment
+counters and observe timer samples; at the end of a run the registry is
+snapshotted into a plain ``dict`` that is stable under a fixed seed —
+counter and gauge values are deterministic; timer *durations* are wall
+clock and therefore excluded from determinism guarantees (only their
+sample counts are deterministic).
+
+Metric naming convention: dotted lowercase paths, ``<layer>.<what>``
+(``cache.accesses``, ``bus.l2_mem.busy_cycles``, ``core.mispredictions``).
+Instrument names are created on first use; reading an absent metric via
+:meth:`MetricsRegistry.snapshot` simply omits it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "percentile",
+]
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile of *samples* (q in [0, 100]).
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.0
+    """
+    items = sorted(samples)
+    if not items:
+        raise ConfigurationError("percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    if q == 0.0:
+        return items[0]
+    rank = math.ceil(q / 100.0 * len(items))
+    return items[rank - 1]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-value-wins metric (window occupancy, configured sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Timer:
+    """A duration histogram summarised by count/total/percentiles.
+
+    Samples are seconds. Use :meth:`observe` with a measured duration or
+    the :meth:`time` context manager around the timed section.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError(
+                f"timer {self.name} observed negative duration {seconds}"
+            )
+        self.samples.append(seconds)
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.samples)
+
+    def summary(self) -> dict[str, float]:
+        """count/total/mean/p50/p90/p99/max of the observed samples."""
+        if not self.samples:
+            return {"count": 0, "total_s": 0.0}
+        return {
+            "count": self.count,
+            "total_s": self.total_seconds,
+            "mean_s": self.total_seconds / self.count,
+            "p50_s": percentile(self.samples, 50),
+            "p90_s": percentile(self.samples, 90),
+            "p99_s": percentile(self.samples, 99),
+            "max_s": max(self.samples),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Timer {self.name} n={self.count} total={self.total_seconds:.4f}s>"
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Create-on-first-use store of named counters, gauges, and timers.
+
+    Registries are cheap; the profiler builds a fresh one per run so that
+    snapshots describe exactly one experiment. A name may hold only one
+    instrument kind — asking for ``counter(n)`` after ``gauge(n)`` raises.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_timers")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            self._check_free(name, self._gauges, self._timers)
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            self._check_free(name, self._counters, self._timers)
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def timer(self, name: str) -> Timer:
+        found = self._timers.get(name)
+        if found is None:
+            self._check_free(name, self._counters, self._gauges)
+            found = self._timers[name] = Timer(name)
+        return found
+
+    @staticmethod
+    def _check_free(name: str, *tables: dict[str, object]) -> None:
+        for table in tables:
+            if name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with a different kind"
+                )
+
+    def snapshot(self) -> dict[str, object]:
+        """All metric values as one JSON-serialisable dict, sorted names."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "timers": {
+                name: self._timers[name].summary()
+                for name in sorted(self._timers)
+            },
+        }
+
+    def counter_values(self) -> dict[str, int]:
+        """Just the counters — the deterministic part of a snapshot."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
+    def reset(self) -> None:
+        """Drop every instrument (names included)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} timers={len(self._timers)}>"
+        )

@@ -1,10 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import EXPERIMENT_MODULES, build_parser, main
+from repro.cli import EXPERIMENT_MODULES, build_parser, main, positive_int
 
 
 def run_cli(*argv: str) -> str:
@@ -29,6 +30,38 @@ class TestParser:
             "table2", "table3", "table6", "table7", "table8", "table9",
             "epin",
         }
+
+    def test_positive_int_accepts_positive(self):
+        assert positive_int("5000") == 5000
+
+    def test_positive_int_rejects_zero_and_negative(self):
+        import argparse
+
+        for text in ("0", "-1", "-5000"):
+            with pytest.raises(argparse.ArgumentTypeError, match="positive"):
+                positive_int(text)
+
+    def test_positive_int_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="integer"):
+            positive_int("lots")
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiment", "table9", "--max-refs", "0"],
+            ["simulate", "Espresso", "--max-refs", "-1"],
+            ["decompose", "Li", "--max-refs", "0"],
+            ["stats", "Li", "--max-refs", "-3"],
+            ["profile", "table2", "--max-refs", "0"],
+        ],
+    )
+    def test_nonpositive_max_refs_rejected_everywhere(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert "positive reference count" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -76,3 +109,84 @@ class TestCommands:
     def test_experiment_with_max_refs(self):
         text = run_cli("experiment", "table9", "--max-refs", "20000")
         assert "blocksize" in text
+
+
+class TestObservabilityFlags:
+    def test_unwritable_trace_events_path_is_a_clean_error(self, capsys):
+        code = main(
+            ["simulate", "Espresso", "--max-refs", "1000",
+             "--trace-events", "/nonexistent-dir/events.jsonl"],
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot open --trace-events path" in err
+        assert "Traceback" not in err
+
+    def test_verbose_logs_structured_events_to_stderr(self, capsys):
+        run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "20000",
+            "--verbose",
+        )
+        err = capsys.readouterr().err
+        assert "[repro]" in err
+        assert "cache.simulate" in err
+
+    def test_trace_events_writes_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "20000",
+            "--trace-events", str(path),
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert all("seq" in e and "kind" in e for e in events)
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        assert any(e["kind"] == "cache.simulate" for e in events)
+
+    def test_obs_disabled_after_command(self):
+        from repro.obs import OBS, NullSink
+
+        run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "20000",
+            "--verbose",
+        )
+        assert OBS.enabled is False
+        assert isinstance(OBS.sink, NullSink)
+
+    def test_default_run_never_enables_observability(self):
+        from repro.obs import OBS
+
+        run_cli("stats", "Li", "--max-refs", "20000")
+        assert OBS.enabled is False
+        assert OBS.registry.counter_values() == {}
+
+
+class TestProfileCommand:
+    def test_profile_prints_and_writes_json(self, tmp_path):
+        path = tmp_path / "BENCH_profile.json"
+        text = run_cli(
+            "profile", "table2", "--max-refs", "5000", "--output", str(path)
+        )
+        assert "profile: table2" in text
+        assert "refs/sec" in text
+        assert "Table 2" in text  # the experiment's own output still shows
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.profile/v1"
+        assert data["experiment"] == "table2"
+        assert data["references"] > 0
+
+    def test_profile_with_trace_events(self, tmp_path):
+        profile_path = tmp_path / "profile.json"
+        events_path = tmp_path / "events.jsonl"
+        run_cli(
+            "profile", "figure1",
+            "--output", str(profile_path),
+            "--trace-events", str(events_path),
+        )
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().strip().splitlines()
+        ]
+        assert any(e["kind"] == "stage.begin" for e in events)
+        assert profile_path.exists()

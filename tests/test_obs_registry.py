@@ -1,0 +1,121 @@
+"""Tests for the metrics registry (counters, gauges, timers, snapshots)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_even_count(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+    def test_p0_is_min_p100_is_max(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 5.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("occupancy")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestTimer:
+    def test_observe_and_summary(self):
+        timer = Timer("t")
+        for seconds in (0.1, 0.2, 0.3, 0.4):
+            timer.observe(seconds)
+        summary = timer.summary()
+        assert summary["count"] == 4
+        assert summary["total_s"] == pytest.approx(1.0)
+        assert summary["mean_s"] == pytest.approx(0.25)
+        assert summary["p50_s"] == pytest.approx(0.2)
+        assert summary["max_s"] == pytest.approx(0.4)
+
+    def test_empty_summary(self):
+        assert Timer("t").summary() == {"count": 0, "total_s": 0.0}
+
+    def test_context_manager_records_a_sample(self):
+        timer = Timer("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.samples[0] >= 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timer("t").observe(-0.1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("t") is registry.timer("t")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.timer("x")
+
+    def test_snapshot_structure_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(4.0)
+        registry.timer("t").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"] == {"a": 1, "b": 2}
+        assert snapshot["gauges"] == {"g": 4.0}
+        assert snapshot["timers"]["t"]["count"] == 1
+
+    def test_counter_values_is_just_the_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        registry.gauge("g").set(1.0)
+        assert registry.counter_values() == {"n": 3}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+        }

@@ -1,6 +1,8 @@
 """Tests for repro.util helpers."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.util import (
@@ -66,6 +68,93 @@ class TestFormatSize:
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError):
             format_size(-4)
+
+
+#: The paper's Table 7/8 cache sizes, 1KB..2MB.
+PAPER_SIZES = [1024 * 2 ** k for k in range(12)]
+
+#: Every accepted spelling for each multiplier.
+SUFFIX_SPELLINGS = {
+    1: ["", "B"],
+    1024: ["KB", "K"],
+    1024 ** 2: ["MB", "M"],
+    1024 ** 3: ["GB", "G"],
+}
+
+
+class TestSizeRoundTrip:
+    """Round-trip properties pinning the rstrip("KMGB") suffix splitting.
+
+    ``parse_size`` separates number from suffix with ``rstrip("KMGB")``,
+    which is easy to get subtly wrong (a trailing ``B`` is also a suffix
+    *letter*, so ``"64KB"`` must split as ``64``/``KB`` and ``"32B"`` as
+    ``32``/``B``, never ``""``/anything). These tests nail the behaviour
+    over every paper cache size and every accepted suffix spelling.
+    """
+
+    @pytest.mark.parametrize("size", PAPER_SIZES)
+    def test_format_parse_round_trip_paper_sizes(self, size):
+        assert parse_size(format_size(size)) == size
+
+    @pytest.mark.parametrize("multiplier,spellings", SUFFIX_SPELLINGS.items())
+    def test_every_suffix_spelling(self, multiplier, spellings):
+        for spelling in spellings:
+            for text in (f"3{spelling}", f"3{spelling.lower()}"):
+                assert parse_size(text) == 3 * multiplier, text
+
+    @pytest.mark.parametrize("size", PAPER_SIZES)
+    def test_paper_sizes_in_every_spelling(self, size):
+        for multiplier, spellings in SUFFIX_SPELLINGS.items():
+            if size % multiplier:
+                continue
+            value = size // multiplier
+            for spelling in spellings:
+                if multiplier == 1 and spelling == "":
+                    continue  # bare string of digits tested separately
+                assert parse_size(f"{value}{spelling}") == size
+                assert parse_size(f"{value}{spelling}".lower()) == size
+
+    def test_bare_digit_strings(self):
+        for size in PAPER_SIZES:
+            assert parse_size(str(size)) == size
+
+    @given(st.integers(min_value=0, max_value=2 ** 40))
+    def test_format_parse_round_trip_any_size(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.sampled_from(
+            [s for spellings in SUFFIX_SPELLINGS.values() for s in spellings]
+        ),
+        st.booleans(),
+    )
+    def test_parse_any_spelling(self, value, suffix, lower):
+        text = f"{value}{suffix}"
+        if lower:
+            text = text.lower()
+        multiplier = next(
+            m for m, spellings in SUFFIX_SPELLINGS.items() if suffix in spellings
+        )
+        assert parse_size(text) == value * multiplier
+
+    def test_suffix_only_rejected(self):
+        # rstrip eats the whole string: no number part remains.
+        for text in ("KB", "B", "MGB", "kmgb"):
+            with pytest.raises(ConfigurationError):
+                parse_size(text)
+
+    def test_shuffled_suffix_letters_rejected(self):
+        # Valid letters in an invalid order must not parse.
+        for text in ("1BK", "1KBB", "1BKB", "1MK"):
+            with pytest.raises(ConfigurationError):
+                parse_size(text)
+
+    def test_format_prefers_largest_exact_suffix(self):
+        assert format_size(1024) == "1KB"
+        assert format_size(1024 ** 2) == "1MB"
+        assert format_size(1024 ** 3) == "1GB"
+        assert format_size(1024 + 512) == "1536B"
 
 
 class TestPowersOfTwo:
