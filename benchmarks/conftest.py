@@ -10,8 +10,25 @@ from __future__ import annotations
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an expensive experiment exactly once under pytest-benchmark."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    When the session runs with ``--jobs``/``--exec-cache`` (root
+    conftest), prints the execution-layer session stats after the round
+    so a warm-cache benchmark is distinguishable from a cold one.
+    """
+    result = benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    from repro.exec import EXEC
+
+    if EXEC.jobs != 1 or EXEC.cache is not None:
+        stats = (
+            f"cache {EXEC.cache.hits} hits / {EXEC.cache.misses} misses"
+            if EXEC.cache is not None
+            else "cache off"
+        )
+        print(f"[exec: jobs={EXEC.jobs}, {stats}]")
+    return result
 
 
 def emit(title: str, text: str) -> None:

@@ -1,0 +1,58 @@
+"""Repository-root pytest configuration: execution-layer options.
+
+Placed at the root (above both ``tests/`` and ``benchmarks/``) so one
+``pytest_addoption`` serves every suite:
+
+``--jobs N``
+    Run experiment sweeps on a process pool of N workers. The default 1
+    keeps the serial path — the suite's results are identical either
+    way (that equality is itself under test in
+    ``tests/test_exec_parallel.py``).
+``--exec-cache``
+    Enable the on-disk result cache (off by default so tests always
+    exercise real simulation; benchmarks opt in to measure warm-cache
+    behaviour).
+
+Both options configure the process-wide :data:`repro.exec.EXEC` facade
+once per session; with neither given the facade is never imported and
+the suite behaves exactly as before the execution layer existed.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro execution layer")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiment sweeps (default: 1, serial)",
+    )
+    group.addoption(
+        "--exec-cache",
+        action="store_true",
+        default=False,
+        help="enable the on-disk result cache (.repro-cache/) for the run",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs")
+    use_cache = config.getoption("--exec-cache")
+    if jobs == 1 and not use_cache:
+        return
+    from repro.exec import configure_exec, default_cache_dir
+
+    configure_exec(
+        jobs=jobs,
+        cache_dir=default_cache_dir() if use_cache else None,
+    )
+
+
+def pytest_unconfigure(config):
+    if config.getoption("--jobs") == 1 and not config.getoption("--exec-cache"):
+        return
+    from repro.exec import configure_exec
+
+    configure_exec(jobs=1, cache_dir=None)

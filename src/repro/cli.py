@@ -18,10 +18,17 @@ Commands
     Run one experiment under the instrumentation layer and print a
     stage/throughput profile; writes machine-readable
     ``BENCH_profile.json``.
+``cache stats|clear``
+    Inspect or empty the on-disk result cache (see docs/performance.md).
 
 Every simulation command also accepts the observability flags
 ``--verbose`` (structured event logging on stderr) and
 ``--trace-events PATH`` (JSONL event export); see docs/observability.md.
+The ``experiment`` command additionally takes the execution-layer flags
+``--jobs N`` (worker processes), ``--no-cache``, and ``--cache-dir PATH``
+(result caching is on by default, rooted at ``.repro-cache/``);
+``profile`` takes ``--jobs N`` and reports per-worker utilization, but
+never uses the result cache — a profile must measure real work.
 """
 
 from __future__ import annotations
@@ -114,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound the references per benchmark (speed/fidelity knob)",
     )
+    experiment.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes for sweep execution (default: 1, serial)",
+    )
+    experiment.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    experiment.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result cache root (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
 
     simulate = sub.add_parser(
         "simulate", parents=[obs_flags], help="run a workload through a cache"
@@ -166,6 +190,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_profile.json",
         help="machine-readable profile destination (default: BENCH_profile.json)",
     )
+    profile.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes for sweep execution (default: 1, serial)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result cache root (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
 
     return parser
 
@@ -187,15 +228,27 @@ def _cmd_list(out) -> None:
 
 
 def _cmd_experiment(args, out) -> None:
+    from repro.exec import EXEC, default_cache_dir, execution
+
     module = importlib.import_module(EXPERIMENT_MODULES[args.name])
     kwargs = {}
     if args.max_refs is not None:
         kwargs["max_refs"] = args.max_refs
-    try:
-        result = module.run(**kwargs)
-    except TypeError:
-        # Some experiments (figure1/figure2/table2) take no max_refs.
-        result = module.run()
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or default_cache_dir()
+    with execution(jobs=args.jobs, cache_dir=cache_dir):
+        try:
+            result = module.run(**kwargs)
+        except TypeError:
+            # Some experiments (figure1/figure2/table2) take no max_refs.
+            result = module.run()
+        if EXEC.cache is not None:
+            print(
+                f"cache: {EXEC.cache.hits} hits, {EXEC.cache.misses} misses "
+                f"({EXEC.cache.root})",
+                file=sys.stderr,
+            )
     print(module.render(result), file=out)
 
 
@@ -252,12 +305,25 @@ def _cmd_profile(args, out) -> None:
         write_profile,
     )
 
-    profile, rendered = profile_experiment(args.name, max_refs=args.max_refs)
+    profile, rendered = profile_experiment(
+        args.name, max_refs=args.max_refs, jobs=args.jobs
+    )
     print(rendered, file=out)
     print(file=out)
     print(render_profile(profile), file=out)
     write_profile(profile, args.output)
     print(f"\nwrote {args.output}", file=out)
+
+
+def _cmd_cache(args, out) -> None:
+    from repro.exec import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        print(cache.stats().describe(), file=out)
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}", file=out)
 
 
 def _cmd_stats(args, out) -> None:
@@ -325,6 +391,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             _cmd_stats(args, out)
         elif args.command == "profile":
             _cmd_profile(args, out)
+        elif args.command == "cache":
+            _cmd_cache(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

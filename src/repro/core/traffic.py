@@ -152,7 +152,20 @@ def mean_traffic_ratio(
     Arithmetic mean of the traffic ratios over caches at least *min_size*
     (64 KB in the paper) and smaller than the benchmark's data set; returns
     ``nan`` when no size qualifies.
+
+    Unit contract: the sizes in *ratios_by_size*, *min_size*, and
+    *dataset_bytes* must all be expressed at the **same** scale — either
+    all paper-scale (Table 7 passes paper-scale column sizes with the
+    paper-scale data set from Table 3) or all simulated-scale. Mixing
+    scales silently shifts which columns are eligible and inflates or
+    deflates the mean; ``tests/test_core_traffic.py`` pins the eligible
+    column set per benchmark to guard the Table 7 caller.
     """
+    if min_size <= 0 or dataset_bytes <= 0:
+        raise ConfigurationError(
+            "mean_traffic_ratio needs positive min_size and dataset_bytes "
+            f"(got {min_size}, {dataset_bytes})"
+        )
     eligible = [
         ratio
         for size, ratio in ratios_by_size

@@ -1,0 +1,57 @@
+"""repro.exec — the execution layer: parallel runs + a persistent cache.
+
+The paper's evaluation is a grid of *independent* simulations —
+(benchmark x cache size x configuration) cells — and highly repetitive
+across runs. This package exploits both properties:
+
+* :mod:`repro.exec.pool` — a deterministic process-pool runner
+  (:func:`run_tasks`) that fans tasks across CPU cores and merges
+  results in task order, so parallel output is byte-identical to serial;
+* :mod:`repro.exec.cache` — a content-addressed on-disk result cache
+  (:class:`ResultCache`, default ``.repro-cache/``) keyed by a stable
+  hash of (workload spec, simulator config, trace seed, code epoch), so
+  re-running an experiment recomputes only what changed;
+* :mod:`repro.exec.keys` — the canonical hashing behind those keys;
+* :mod:`repro.exec.context` — the process-wide :data:`EXEC` context
+  (jobs + cache) that ``sweep_grid``/``evaluate_grid`` consult, in the
+  same spirit as :data:`repro.obs.OBS`.
+
+Defaults are serial and uncached — identical behaviour to a build
+without this layer. Entry points opt in: the CLI via ``--jobs`` /
+``--no-cache``, pytest via ``--jobs`` / ``--exec-cache``, and
+``scripts/regenerate_experiments.py`` via its own flags. See
+docs/performance.md for usage, cache layout, and measured numbers.
+"""
+
+from __future__ import annotations
+
+from repro.exec.cache import CACHE_SCHEMA, MISS, CacheStats, ResultCache
+from repro.exec.context import (
+    DEFAULT_CACHE_DIR,
+    EXEC,
+    ExecContext,
+    configure_exec,
+    default_cache_dir,
+    execution,
+)
+from repro.exec.keys import canonical_key, code_epoch, stable_hash, workload_key
+from repro.exec.pool import Task, run_tasks
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "MISS",
+    "CacheStats",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "EXEC",
+    "ExecContext",
+    "configure_exec",
+    "default_cache_dir",
+    "execution",
+    "canonical_key",
+    "code_epoch",
+    "stable_hash",
+    "workload_key",
+    "Task",
+    "run_tasks",
+]

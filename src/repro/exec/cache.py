@@ -1,0 +1,166 @@
+"""Content-addressed on-disk result cache backing the execution layer.
+
+Layout (default root ``.repro-cache/``, override with ``REPRO_CACHE_DIR``
+or the ``--cache-dir`` flags)::
+
+    .repro-cache/
+      ab/
+        abcdef...0123.json    # one JSON entry per cached result
+
+Each entry records its full key material alongside the value::
+
+    {"schema": "repro.exec-cache/v1", "key": {...}, "value": ...}
+
+``get`` re-verifies the stored key against the requested material, so a
+hash collision or a truncated/corrupted file degrades to a miss, never to
+a wrong answer. Writes go through a temp file plus :func:`os.replace`,
+making concurrent writers (parallel sweep workers) safe: the last writer
+wins with a complete entry.
+
+Invalidation is purely key-driven: every key includes the code epoch
+(:func:`repro.exec.keys.code_epoch`), so editing any source file retires
+all prior entries. ``repro cache clear`` exists for reclaiming disk, not
+for correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.exec.keys import canonical_key, stable_hash
+
+__all__ = ["CACHE_SCHEMA", "MISS", "CacheStats", "ResultCache"]
+
+CACHE_SCHEMA = "repro.exec-cache/v1"
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate cached value — the sweep grids store it for "<<<" cells).
+MISS = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """A point-in-time summary of what is on disk under the cache root."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"cache {self.root}: {self.entries} entries, "
+            f"{self.total_bytes:,} bytes"
+        )
+
+
+class ResultCache:
+    """JSON-backed store of computed results, addressed by key material.
+
+    Instances also track session counters (``hits``/``misses``/``stores``)
+    so callers can report what a run actually reused without consulting
+    the metrics registry.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, material: object) -> object:
+        """The cached value for *material*, or the module sentinel MISS."""
+        canonical = canonical_key(material)
+        path = self._path(stable_hash(material))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return MISS
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            self.misses += 1
+            return MISS
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or "value" not in entry
+            or canonical_key(entry.get("key")) != canonical
+        ):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return entry["value"]
+
+    def put(self, material: object, value: object) -> None:
+        """Store *value* under *material*; the value must be JSON data."""
+        digest = stable_hash(material)
+        entry = {"schema": CACHE_SCHEMA, "key": material, "value": value}
+        try:
+            payload = json.dumps(entry, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cached value for key {material!r} is not JSON-serialisable: "
+                f"{exc}"
+            ) from exc
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        total = sum(path.stat().st_size for path in entries)
+        return CacheStats(
+            root=str(self.root), entries=len(entries), total_bytes=total
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (and empty shard dirs); returns the count."""
+        entries = self._entries()
+        for path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for shard in sorted(self.root.glob("*")):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (e.g. a concurrent writer) — keep it
+        return len(entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {self.root} hits={self.hits} "
+            f"misses={self.misses} stores={self.stores}>"
+        )

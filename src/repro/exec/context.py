@@ -1,0 +1,92 @@
+"""The process-wide execution context: worker count and result cache.
+
+Mirrors the :data:`repro.obs.OBS` pattern: library code (``sweep_grid``
+and friends) consults one module-global :data:`EXEC` rather than
+threading jobs/cache parameters through every ``run()`` signature. The
+default is serial with no cache — behaviour is byte-identical to a build
+without the execution layer until an entry point opts in via
+:func:`configure_exec` (CLI flags, pytest options, the regenerate
+script) or the :func:`execution` context manager (tests).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecContext",
+    "EXEC",
+    "configure_exec",
+    "execution",
+    "default_cache_dir",
+]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache root honoured by every entry point: env override or cwd."""
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ExecContext:
+    """How grid/experiment work is executed: ``jobs`` workers + a cache.
+
+    ``jobs == 1`` means in-process serial execution; ``cache is None``
+    means every cell is recomputed. Both defaults preserve the pre-layer
+    behaviour exactly.
+    """
+
+    __slots__ = ("jobs", "cache")
+
+    def __init__(self, jobs: int = 1, cache=None) -> None:
+        self.jobs = jobs
+        self.cache = cache
+
+    def __repr__(self) -> str:
+        cache = getattr(self.cache, "root", None)
+        return f"<ExecContext jobs={self.jobs} cache={cache}>"
+
+
+#: The process-wide context consulted by sweep/experiment runners.
+EXEC = ExecContext()
+
+
+def _validated_jobs(jobs: int) -> int:
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        raise ConfigurationError(
+            f"jobs must be a positive integer, got {jobs!r}"
+        )
+    return jobs
+
+
+def configure_exec(
+    *, jobs: int = 1, cache_dir: str | os.PathLike | None = None
+) -> ExecContext:
+    """Set the process-wide execution context.
+
+    *cache_dir* of ``None`` disables the result cache; pass
+    :func:`default_cache_dir` (or any path) to enable it.
+    """
+    from repro.exec.cache import ResultCache
+
+    EXEC.jobs = _validated_jobs(jobs)
+    EXEC.cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return EXEC
+
+
+@contextmanager
+def execution(
+    *, jobs: int = 1, cache_dir: str | os.PathLike | None = None
+) -> Iterator[ExecContext]:
+    """Temporarily reconfigure :data:`EXEC`, restoring the prior state."""
+    prev_jobs, prev_cache = EXEC.jobs, EXEC.cache
+    try:
+        yield configure_exec(jobs=jobs, cache_dir=cache_dir)
+    finally:
+        EXEC.jobs, EXEC.cache = prev_jobs, prev_cache

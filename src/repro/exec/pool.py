@@ -1,0 +1,189 @@
+"""Deterministic process-pool task runner with result-cache integration.
+
+:func:`run_tasks` is the execution layer's engine: it takes an ordered
+list of :class:`Task` items and returns their values *in task order*,
+regardless of how many workers computed them or which came from the
+cache. That ordering guarantee is what makes parallel sweep grids and
+EXPERIMENTS.md regeneration byte-identical to serial runs.
+
+Execution strategy, per call:
+
+1. Tasks carrying a cache key are looked up first; hits skip execution.
+2. Remaining tasks run on a ``ProcessPoolExecutor`` (``fork`` start
+   method) when ``jobs > 1``, more than one task is pending, and every
+   pending task pickles. Otherwise they run serially in-process — a
+   closure-based measure function degrades gracefully rather than
+   failing.
+3. Computed values are written back to the cache. Values that flow
+   through the cache are normalised through a JSON round-trip *before*
+   being returned, so a cold run returns bit-identical structures to the
+   warm run that follows it.
+
+Observability (all via :data:`repro.obs.OBS`, no-ops when disabled):
+``exec.cache.hit`` / ``exec.cache.miss`` / ``exec.cache.store`` counters,
+an ``exec.tasks`` counter, an ``exec.jobs`` gauge, a per-task
+``exec.worker.time`` timer, and an ``exec.pool.fallback`` counter when
+unpicklable work forces the serial path. Workers run with a private
+metrics registry and a null sink; their *counter* deltas are merged into
+the parent in task order (deterministic), while worker-side events and
+timer samples are intentionally dropped — event streams stay a
+serial-execution feature.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.exec.cache import MISS, ResultCache
+from repro.obs import OBS, MetricsRegistry, NullSink
+
+__all__ = ["Task", "run_tasks"]
+
+
+@dataclass(slots=True)
+class Task:
+    """One unit of work: a picklable callable plus its arguments.
+
+    *key* is the cache key material (canonical-JSON-able dict) or
+    ``None`` for never-cached work; when a key is given the value must be
+    JSON data. *label* is only used for diagnostics.
+    """
+
+    fn: Callable
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    key: dict | None = None
+    label: str = ""
+
+
+def _worker_init() -> None:
+    """Per-worker (forked child) initialisation.
+
+    The child inherits the parent's :data:`OBS` facade and ``EXEC``
+    context. Give it a private registry and a null sink — the parent owns
+    any real sink's file handle — and force serial execution so a task
+    that itself runs a sweep cannot spawn a nested pool.
+    """
+    from repro.exec.context import EXEC
+
+    OBS.registry = MetricsRegistry()
+    OBS.sink = NullSink()
+    EXEC.jobs = 1
+
+
+def _invoke(fn, args, kwargs):
+    """Worker-side call: time it and capture the counter deltas."""
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    seconds = time.perf_counter() - start
+    counters = None
+    if OBS.enabled:
+        counters = OBS.registry.counter_values()
+        OBS.registry = MetricsRegistry()  # fresh slate for the next task
+    return value, seconds, counters
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _all_picklable(tasks: Sequence[Task]) -> bool:
+    try:
+        for task in tasks:
+            pickle.dumps((task.fn, task.args, task.kwargs))
+    except Exception:
+        return False
+    return True
+
+
+def _store(cache: ResultCache | None, task: Task, value, observed: bool):
+    """Write a computed value back, returning its JSON-normalised form."""
+    if cache is None or task.key is None:
+        return value
+    cache.put(task.key, value)
+    if observed:
+        OBS.count("exec.cache.store")
+    # Return what a warm run would read back (tuples become lists, etc.)
+    # so cold and warm results are structurally identical.
+    return json.loads(json.dumps(value))
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list:
+    """Run *tasks* and return their values in task order.
+
+    See the module docstring for the execution strategy and the
+    determinism guarantees.
+    """
+    tasks = list(tasks)
+    results: list = [None] * len(tasks)
+    observed = OBS.enabled
+    if observed:
+        OBS.gauge("exec.jobs", jobs)
+
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None and task.key is not None:
+            value = cache.get(task.key)
+            if value is not MISS:
+                results[index] = value
+                if observed:
+                    OBS.count("exec.cache.hit")
+                continue
+            if observed:
+                OBS.count("exec.cache.miss")
+        pending.append(index)
+
+    use_pool = jobs > 1 and len(pending) > 1 and _fork_available()
+    if use_pool and not _all_picklable([tasks[i] for i in pending]):
+        use_pool = False
+        if observed:
+            OBS.count("exec.pool.fallback")
+
+    if use_pool:
+        # A forked child inherits any buffered sink output; flush first so
+        # worker exits cannot replay parent bytes into a shared file.
+        OBS.sink.flush()
+        context = multiprocessing.get_context("fork")
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+        ) as pool:
+            futures = [
+                (index, pool.submit(
+                    _invoke, tasks[index].fn, tasks[index].args,
+                    tasks[index].kwargs,
+                ))
+                for index in pending
+            ]
+            for index, future in futures:
+                value, seconds, counters = future.result()
+                if observed:
+                    OBS.observe("exec.worker.time", seconds)
+                    OBS.count("exec.tasks")
+                    if counters:
+                        for name, amount in counters.items():
+                            OBS.count(name, amount)
+                results[index] = _store(cache, tasks[index], value, observed)
+    else:
+        for index in pending:
+            task = tasks[index]
+            start = time.perf_counter()
+            value = task.fn(*task.args, **task.kwargs)
+            if observed:
+                OBS.observe("exec.worker.time", time.perf_counter() - start)
+                OBS.count("exec.tasks")
+            results[index] = _store(cache, task, value, observed)
+    return results

@@ -100,38 +100,82 @@ class SweepResult:
         ]
 
 
-def sweep_grid(
-    title: str,
+def _require_unique_row_names(
+    workloads: Sequence[SyntheticWorkload],
+) -> list[str]:
+    """Reject duplicate workload names before they can corrupt a grid.
+
+    ``SweepResult.row()``/``cell()`` look rows up by name, so a duplicate
+    would silently shadow every later row with the first one's data.
+    """
+    names = [w.name for w in workloads]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ConfigurationError(
+            "duplicate workload row names in sweep: "
+            + ", ".join(duplicates)
+            + " (row()/cell() lookups would return only the first row)"
+        )
+    return names
+
+
+#: One planned grid cell: (column index, paper-scale size, simulated size).
+_CellPlan = tuple[int, int, int]
+
+
+def _plan_rows(
     workloads: Sequence[SyntheticWorkload],
     axis: ScaledAxis,
-    measure: Callable[[SyntheticWorkload, int], float],
-    *,
-    sizes: Iterable[int] | None = None,
-    full_rows: set[str] | frozenset[str] | None = None,
-) -> SweepResult:
-    """Evaluate *measure(workload, simulated_size)* over the full grid.
+    size_list: Sequence[int],
+    full: set[str] | frozenset[str],
+) -> list[list[_CellPlan]]:
+    """The defined (non-"<<<") cells of every row, decided in the parent
+    process so serial, parallel, and cached runs agree exactly."""
+    plans: list[list[_CellPlan]] = []
+    for workload in workloads:
+        plan: list[_CellPlan] = []
+        for column, paper_size in enumerate(size_list):
+            if workload.name not in full and axis.is_too_big(
+                paper_size, workload
+            ):
+                continue
+            plan.append((column, paper_size, axis.simulated_size(paper_size)))
+        plans.append(plan)
+    return plans
 
-    Cells where the cache exceeds the (scaled) data set are recorded as
-    ``None`` — the paper's "<<<" — and the measurement is skipped.
-    Workloads named in *full_rows* are measured at every size regardless
-    (the paper itself makes this exception for Swm in Table 8).
-    """
-    size_list = list(sizes) if sizes is not None else list(axis.paper_sizes)
-    full = full_rows or set()
+
+def _measure_row(
+    measure: Callable[[SyntheticWorkload, int], object],
+    workload: SyntheticWorkload,
+    simulated_sizes: Sequence[int],
+) -> dict[str, list]:
+    """Top-level (hence picklable) row task: one workload, all its cells."""
+    values: list[object] = []
+    seconds: list[float] = []
+    for simulated in simulated_sizes:
+        start = time.perf_counter()
+        values.append(measure(workload, simulated))
+        seconds.append(time.perf_counter() - start)
+    return {"values": values, "seconds": seconds}
+
+
+def _evaluate_serial(
+    title: str,
+    workloads: Sequence[SyntheticWorkload],
+    size_list: Sequence[int],
+    plans: Sequence[Sequence[_CellPlan]],
+    measure: Callable[[SyntheticWorkload, int], object],
+) -> list[list[object | None]]:
+    """The classic in-process path (jobs=1, no cache): zero new moving
+    parts, identical instrumentation to the pre-exec-layer runner."""
     observed = OBS.enabled
-    rows: list[list[float | None]] = []
+    rows: list[list[object | None]] = []
     with OBS.span("sweep", title=title):
-        for workload in workloads:
-            row: list[float | None] = []
-            for paper_size in size_list:
-                if workload.name not in full and axis.is_too_big(
-                    paper_size, workload
-                ):
-                    row.append(None)
-                    continue
-                simulated = axis.simulated_size(paper_size)
+        for workload, plan in zip(workloads, plans):
+            row: list[object | None] = [None] * len(size_list)
+            for column, paper_size, simulated in plan:
                 if not observed:
-                    row.append(measure(workload, simulated))
+                    row[column] = measure(workload, simulated)
                     continue
                 start = time.perf_counter()
                 value = measure(workload, simulated)
@@ -145,8 +189,123 @@ def sweep_grid(
                     simulated_size=simulated,
                     value=value,
                 )
-                row.append(value)
+                row[column] = value
             rows.append(row)
+    return rows
+
+
+def evaluate_grid(
+    title: str,
+    workloads: Sequence[SyntheticWorkload],
+    axis: ScaledAxis,
+    measure: Callable[[SyntheticWorkload, int], object],
+    *,
+    sizes: Iterable[int] | None = None,
+    full_rows: set[str] | frozenset[str] | None = None,
+    cache_key: dict | None = None,
+) -> tuple[list[int], list[list[object | None]]]:
+    """Evaluate *measure(workload, simulated_size)* over the full grid.
+
+    Returns ``(size_list, rows)`` where undefined ("<<<") cells are
+    ``None``. Values may be any JSON-stable object (floats, or lists of
+    numbers for multi-component measurements such as Table 8's).
+
+    Execution honours the process-wide :data:`repro.exec.EXEC` context:
+    with ``jobs > 1`` rows fan out across worker processes (results are
+    merged in row order, so grids are identical to serial runs), and
+    when a result cache is configured *and* the caller supplies
+    *cache_key* — material pinning everything the measurement depends on
+    beyond (workload, size): seed, reference budget, simulator config —
+    previously computed rows are reused from disk. With the default
+    context (serial, uncached) this is exactly the classic runner.
+    """
+    size_list = list(sizes) if sizes is not None else list(axis.paper_sizes)
+    full = full_rows or set()
+    _require_unique_row_names(workloads)
+    plans = _plan_rows(workloads, axis, size_list, full)
+
+    from repro.exec import EXEC, Task, code_epoch, run_tasks, workload_key
+
+    cache = EXEC.cache if cache_key is not None else None
+    if EXEC.jobs == 1 and cache is None:
+        return size_list, _evaluate_serial(
+            title, workloads, size_list, plans, measure
+        )
+
+    tasks = []
+    for workload, plan in zip(workloads, plans):
+        simulated_sizes = [simulated for _, _, simulated in plan]
+        key = None
+        if cache is not None:
+            key = {
+                "kind": "sweep-row",
+                "title": title,
+                "epoch": code_epoch(),
+                "workload": workload_key(workload),
+                "sizes": simulated_sizes,
+                "measure": cache_key,
+            }
+        tasks.append(
+            Task(
+                fn=_measure_row,
+                args=(measure, workload, simulated_sizes),
+                key=key,
+                label=f"{title}:{workload.name}",
+            )
+        )
+    outcomes = run_tasks(tasks, jobs=EXEC.jobs, cache=cache)
+
+    observed = OBS.enabled
+    rows: list[list[object | None]] = []
+    with OBS.span("sweep", title=title):
+        for workload, plan, outcome in zip(workloads, plans, outcomes):
+            row: list[object | None] = [None] * len(size_list)
+            for (column, paper_size, simulated), value, seconds in zip(
+                plan, outcome["values"], outcome["seconds"]
+            ):
+                if observed:
+                    OBS.observe("sweep.measure", seconds)
+                    OBS.count("sweep.cells")
+                    OBS.emit(
+                        "sweep.cell",
+                        title=title,
+                        workload=workload.name,
+                        paper_size=paper_size,
+                        simulated_size=simulated,
+                        value=value,
+                    )
+                row[column] = value
+            rows.append(row)
+    return size_list, rows
+
+
+def sweep_grid(
+    title: str,
+    workloads: Sequence[SyntheticWorkload],
+    axis: ScaledAxis,
+    measure: Callable[[SyntheticWorkload, int], float],
+    *,
+    sizes: Iterable[int] | None = None,
+    full_rows: set[str] | frozenset[str] | None = None,
+    cache_key: dict | None = None,
+) -> SweepResult:
+    """Evaluate *measure(workload, simulated_size)* over the full grid.
+
+    Cells where the cache exceeds the (scaled) data set are recorded as
+    ``None`` — the paper's "<<<" — and the measurement is skipped.
+    Workloads named in *full_rows* are measured at every size regardless
+    (the paper itself makes this exception for Swm in Table 8). See
+    :func:`evaluate_grid` for parallel/cached execution semantics.
+    """
+    size_list, rows = evaluate_grid(
+        title,
+        workloads,
+        axis,
+        measure,
+        sizes=sizes,
+        full_rows=full_rows,
+        cache_key=cache_key,
+    )
     return SweepResult(
         title=title,
         row_names=[w.name for w in workloads],

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import ScaledAxis, SweepResult, sweep_grid
+from repro.experiments.runner import ScaledAxis, SweepResult, evaluate_grid
 from repro.mem.cache import Cache, CacheConfig
 from repro.mem.mtc import MinimalTrafficCache, MTCConfig
 from repro.trace.model import MemTrace
@@ -55,6 +55,44 @@ def measure_inefficiency_cell(
     return cache_traffic / mtc_traffic, cache_traffic, mtc_traffic
 
 
+class InefficiencyMeasure:
+    """Picklable cell measurement returning ``[G, cache, MTC]`` triples.
+
+    The triple is a JSON-stable list so one simulated grid can flow
+    through the result cache and still back all three of
+    :class:`Table8Result`'s views. Traces memoize per workload per
+    process and regenerate deterministically after pickling (the memo is
+    excluded from the pickled state).
+    """
+
+    def __init__(self, *, seed: int, max_refs: int | None) -> None:
+        self.seed = seed
+        self.max_refs = max_refs
+        self._traces: dict[str, MemTrace] = {}
+
+    def __getstate__(self) -> dict:
+        return {"seed": self.seed, "max_refs": self.max_refs}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._traces = {}
+
+    def trace_for(self, workload: SyntheticWorkload) -> MemTrace:
+        trace = self._traces.get(workload.name)
+        if trace is None:
+            trace = workload.generate(seed=self.seed, max_refs=self.max_refs)
+            self._traces[workload.name] = trace
+        return trace
+
+    def __call__(
+        self, workload: SyntheticWorkload, simulated_size: int
+    ) -> list[float]:
+        g, cache_traffic, mtc_traffic = measure_inefficiency_cell(
+            self.trace_for(workload), simulated_size
+        )
+        return [g, cache_traffic, mtc_traffic]
+
+
 def run(
     *,
     scale: float = DEFAULT_SCALE,
@@ -66,40 +104,50 @@ def run(
     axis = ScaledAxis(scale=scale)
     if workloads is None:
         workloads = all_workloads("SPEC92", scale=scale)
-    traces = {
-        w.name: w.generate(seed=seed, max_refs=max_refs) for w in workloads
-    }
-    cell_cache: dict[tuple[str, int], tuple[float, int, int]] = {}
-
-    def measure(workload: SyntheticWorkload, simulated_size: int) -> float:
-        key = (workload.name, simulated_size)
-        if key not in cell_cache:
-            cell_cache[key] = measure_inefficiency_cell(
-                traces[workload.name], simulated_size
-            )
-        return cell_cache[key][0]
+    measure = InefficiencyMeasure(seed=seed, max_refs=max_refs)
 
     # The paper's Table 8 shows Swm at 1 MB and 2 MB even though the
     # cache exceeds the data set ("caches with associativities less than
     # four require 4 MB to contain the data set"): full-row exception.
-    sweep = sweep_grid(
+    # One evaluated grid of (G, cache, MTC) triples backs all three
+    # SweepResult views — each cell simulates exactly once.
+    sizes, grid = evaluate_grid(
         "Table 8: traffic inefficiencies",
         workloads,
         axis,
         measure,
         full_rows={"Swm"},
+        cache_key={"experiment": "table8", "seed": seed, "max_refs": max_refs},
     )
 
-    def cached(index: int):
-        def getter(workload: SyntheticWorkload, simulated_size: int) -> float:
-            return float(cell_cache[(workload.name, simulated_size)][index])
+    def view(
+        title: str, index: int, *, full_rows: frozenset[str] = frozenset()
+    ) -> SweepResult:
+        rows: list[list[float | None]] = []
+        for workload, raw in zip(workloads, grid):
+            row: list[float | None] = []
+            for paper_size, triple in zip(sizes, raw):
+                keep = triple is not None and (
+                    workload.name in full_rows
+                    or not axis.is_too_big(paper_size, workload)
+                )
+                row.append(float(triple[index]) if keep else None)
+            rows.append(row)
+        return SweepResult(
+            title=title,
+            row_names=[w.name for w in workloads],
+            column_sizes=list(sizes),
+            cells=rows,
+            scale=axis.scale,
+        )
 
-        return getter
-
-    cache_traffic = sweep_grid(
-        "cache traffic (bytes)", workloads, axis, cached(1)
+    # The traffic views keep the strict "<<<" masking (no Swm exception),
+    # matching the paper's figures that reuse them.
+    sweep = view(
+        "Table 8: traffic inefficiencies", 0, full_rows=frozenset({"Swm"})
     )
-    mtc_traffic = sweep_grid("MTC traffic (bytes)", workloads, axis, cached(2))
+    cache_traffic = view("cache traffic (bytes)", 1)
+    mtc_traffic = view("MTC traffic (bytes)", 2)
     return Table8Result(
         sweep=sweep, mtc_traffic=mtc_traffic, cache_traffic=cache_traffic
     )

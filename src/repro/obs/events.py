@@ -51,6 +51,14 @@ class EventSink:
     def close(self) -> None:
         """Release any held resources (files); idempotent."""
 
+    def flush(self) -> None:
+        """Push buffered output to its destination; idempotent.
+
+        The execution layer flushes sinks before forking worker
+        processes so children never inherit (and later replay) buffered
+        parent bytes into a shared file descriptor.
+        """
+
 
 class NullSink(EventSink):
     """Swallows everything; the near-zero-overhead default."""
@@ -92,6 +100,10 @@ class JsonlSink(EventSink):
         if self._owns and not self._file.closed:
             self._file.close()
 
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
 
 class StderrSink(EventSink):
     """Structured-logging sink: ``[repro] kind key=value ...`` per event."""
@@ -123,3 +135,7 @@ class MultiSink(EventSink):
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()

@@ -20,8 +20,15 @@ Schema ``repro.profile/v1``::
       "refs_per_second": 101234.5,   # references / run-stage seconds
       "counters": {...},             # deterministic under a fixed seed
       "timers": {...},               # percentile summaries, wall clock
+      "gauges": {...},               # e.g. exec.jobs for parallel runs
       "python": "3.12.3"
     }
+
+Profiled runs never use the execution layer's result cache — a profile
+must measure real simulation work, not disk reads — but they do honour
+``jobs`` so multi-worker throughput can be compared against the serial
+baseline (the ``exec.worker.time`` timer and ``exec.jobs`` gauge feed
+the worker-utilization line).
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ class RunProfile:
     stages: list[StageTiming]
     counters: dict[str, int]
     timers: dict[str, dict[str, float]] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
 
     @property
     def references(self) -> int:
@@ -101,6 +109,7 @@ class RunProfile:
             "refs_per_second": self.refs_per_second,
             "counters": self.counters,
             "timers": self.timers,
+            "gauges": self.gauges,
             "python": platform.python_version(),
         }
 
@@ -118,6 +127,7 @@ def profile_experiment(
     *,
     max_refs: int | None = None,
     sink: EventSink | None = None,
+    jobs: int = 1,
 ) -> tuple[RunProfile, str]:
     """Run experiment *name* under full instrumentation.
 
@@ -126,8 +136,12 @@ def profile_experiment(
     results). A fresh metrics registry is installed for the duration; the
     previous :data:`~repro.obs.OBS` state is restored afterwards. When
     *sink* is None, any sink already attached to OBS (for example by the
-    CLI's ``--trace-events``) keeps receiving events.
+    CLI's ``--trace-events``) keeps receiving events. *jobs* > 1 runs the
+    experiment's sweeps on a process pool; the result cache stays off so
+    every profiled second is simulation, not disk.
     """
+    from repro.exec import execution
+
     module_path = f"repro.experiments.{name}"
     overall_start = time.perf_counter()
     stages: list[StageTiming] = []
@@ -139,7 +153,7 @@ def profile_experiment(
             stages.append(StageTiming(stage_name, time.perf_counter() - start))
         return result
 
-    with instrumented(sink=sink):
+    with instrumented(sink=sink), execution(jobs=jobs):
         try:
             module = staged(
                 "import", lambda: importlib.import_module(module_path)
@@ -159,6 +173,7 @@ def profile_experiment(
         stages=stages,
         counters=snapshot["counters"],
         timers=snapshot["timers"],
+        gauges=snapshot["gauges"],
     )
     return profile, rendered
 
@@ -187,6 +202,15 @@ def render_profile(profile: RunProfile) -> str:
         f"references simulated: {profile.references:,} "
         f"({profile.refs_per_second:,.0f} refs/sec)"
     )
+    worker = profile.timers.get("exec.worker.time")
+    jobs = int(profile.gauges.get("exec.jobs", 0))
+    if worker and jobs:
+        busy = worker.get("total_s", 0.0)
+        budget = jobs * profile.run_seconds
+        lines.append(
+            f"workers: {jobs} ({busy:.3f}s busy, "
+            f"{fraction(busy, budget):.1%} utilization)"
+        )
     hot = sorted(
         profile.counters.items(), key=lambda item: item[1], reverse=True
     )[:8]

@@ -32,6 +32,10 @@ def parse_size(size: int | str) -> int:
     >>> parse_size(512)
     512
     """
+    if isinstance(size, bool):
+        # bool is a subclass of int; parse_size(True) == 1 would be a
+        # silently-accepted caller bug, so reject it explicitly.
+        raise ConfigurationError(f"size must be an int or str, got {size!r}")
     if isinstance(size, int):
         if size < 0:
             raise ConfigurationError(f"size must be non-negative, got {size}")
@@ -45,6 +49,9 @@ def parse_size(size: int | str) -> int:
         value = float(number_part)
     except ValueError as exc:
         raise ConfigurationError(f"cannot parse size {size!r}") from exc
+    if value < 0:
+        # Same rule as the int path: "-1KB" must not parse to -1024.
+        raise ConfigurationError(f"size must be non-negative, got {size!r}")
     result = value * _SIZE_SUFFIXES[suffix]
     if result != int(result):
         raise ConfigurationError(f"size {size!r} is not a whole byte count")

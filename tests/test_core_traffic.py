@@ -113,3 +113,63 @@ class TestMeanTrafficRatio:
             [(1024, 1.0)], min_size=64 * 1024, dataset_bytes=32 * 1024
         )
         assert math.isnan(mean)
+
+    def test_non_positive_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_traffic_ratio([(1024, 1.0)], min_size=0, dataset_bytes=1024)
+        with pytest.raises(ConfigurationError):
+            mean_traffic_ratio([(1024, 1.0)], min_size=1024, dataset_bytes=0)
+
+
+class TestTable7EligibleColumns:
+    """Regression for the Table 7 summary's unit contract.
+
+    ``table7.run`` feeds :func:`mean_traffic_ratio` paper-scale column
+    sizes with the paper-scale data set (Table 3's published MB). Mixing
+    scales would silently shift which columns qualify for the mean, so
+    this pins (a) the exact eligible column set per SPEC92 benchmark and
+    (b) that an all-simulated-scale comparison selects the same columns.
+    """
+
+    #: >=64KB (paper scale), below the data set, and not a "<<<" cell.
+    EXPECTED = {
+        "Compress": ["64KB", "128KB", "256KB"],
+        "Dnasa2": ["64KB", "128KB"],
+        "Eqntott": ["64KB", "128KB", "256KB", "512KB", "1MB"],
+        "Espresso": [],
+        "Su2cor": ["64KB", "128KB", "256KB", "512KB", "1MB"],
+        "Swm": ["64KB", "128KB", "256KB", "512KB"],
+        "Tomcatv": ["64KB", "128KB", "256KB", "512KB", "1MB", "2MB"],
+    }
+
+    def _eligible(self, key):
+        from repro.experiments.runner import PAPER_CACHE_SIZES, ScaledAxis
+        from repro.util import format_size
+        from repro.workloads.registry import all_workloads
+
+        axis = ScaledAxis(scale=0.25)
+        out = {}
+        for workload in all_workloads("SPEC92", scale=0.25):
+            out[workload.name] = [
+                format_size(size)
+                for size in PAPER_CACHE_SIZES
+                if not axis.is_too_big(size, workload)
+                and key(axis, workload, size)
+            ]
+        return out
+
+    def test_paper_scale_selection_is_pinned(self):
+        def paper_scale(axis, workload, size):
+            dataset = int(workload.paper.dataset_mb * 1024 * 1024)
+            return 64 * 1024 <= size < dataset
+
+        assert self._eligible(paper_scale) == self.EXPECTED
+
+    def test_simulated_scale_selects_the_same_columns(self):
+        def simulated_scale(axis, workload, size):
+            simulated = axis.simulated_size(size)
+            return (
+                64 * 1024 * axis.scale <= simulated < workload.dataset_bytes()
+            )
+
+        assert self._eligible(simulated_scale) == self.EXPECTED

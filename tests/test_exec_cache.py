@@ -1,0 +1,138 @@
+"""Tests for the execution layer's keys and on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import (
+    CACHE_SCHEMA,
+    MISS,
+    ResultCache,
+    canonical_key,
+    code_epoch,
+    stable_hash,
+    workload_key,
+)
+from repro.workloads import get_workload
+
+
+class TestCanonicalKey:
+    def test_sorted_and_compact(self):
+        assert canonical_key({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_tuple_and_list_are_equal_material(self):
+        assert stable_hash({"sizes": (1, 2, 3)}) == stable_hash(
+            {"sizes": [1, 2, 3]}
+        )
+
+    def test_key_order_is_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_different_material_different_hash(self):
+        assert stable_hash({"seed": 0}) != stable_hash({"seed": 1})
+
+    def test_non_json_material_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_key({"fn": object()})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_key({"x": float("nan")})
+
+
+class TestCodeEpoch:
+    def test_shape_and_stability(self):
+        epoch = code_epoch()
+        assert len(epoch) == 16
+        int(epoch, 16)  # hex
+        assert code_epoch() == epoch  # memoized
+
+
+class TestWorkloadKey:
+    def test_identifies_class_name_and_scale(self):
+        workload = get_workload("Compress")
+        key = workload_key(workload)
+        assert key["name"] == "Compress"
+        assert key["scale"] == workload.scale
+        assert key["class"].endswith(type(workload).__qualname__)
+
+    def test_is_canonical_json(self):
+        canonical_key(workload_key(get_workload("Swm")))
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = {"experiment": "t", "seed": 0}
+        assert cache.get(key) is MISS
+        cache.put(key, {"rows": [1.5, None, 2.0]})
+        assert cache.get(key) == {"rows": [1.5, None, 2.0]}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_none_is_a_legitimate_value(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put({"k": 1}, None)
+        assert cache.get({"k": 1}) is None
+        assert cache.get({"k": 2}) is MISS
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = {"k": 1}
+        cache.put(key, 42)
+        (entry,) = list(cache.root.glob("*/*.json"))
+        entry.write_text("{truncated")
+        assert cache.get(key) is MISS
+
+    def test_schema_mismatch_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = {"k": 1}
+        cache.put(key, 42)
+        (entry,) = list(cache.root.glob("*/*.json"))
+        payload = json.loads(entry.read_text())
+        payload["schema"] = "something/else"
+        entry.write_text(json.dumps(payload))
+        assert cache.get(key) is MISS
+
+    def test_stored_key_mismatch_degrades_to_miss(self, tmp_path):
+        # Simulates a hash collision: the entry at the addressed path
+        # records different key material than was asked for.
+        cache = ResultCache(tmp_path / "c")
+        key = {"k": 1}
+        cache.put(key, 42)
+        (entry,) = list(cache.root.glob("*/*.json"))
+        entry.write_text(
+            json.dumps({"schema": CACHE_SCHEMA, "key": {"k": 2}, "value": 42})
+        )
+        assert cache.get(key) is MISS
+
+    def test_unserialisable_value_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with pytest.raises(ConfigurationError):
+            cache.put({"k": 1}, object())
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for seed in range(3):
+            cache.put({"seed": seed}, [seed])
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert "3 entries" in stats.describe()
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+        assert cache.get({"seed": 0}) is MISS
+
+    def test_stats_on_missing_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0
+
+    def test_overwrite_last_writer_wins(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put({"k": 1}, "old")
+        cache.put({"k": 1}, "new")
+        assert cache.get({"k": 1}) == "new"
+        assert cache.stats().entries == 1

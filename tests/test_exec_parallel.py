@@ -1,0 +1,83 @@
+"""Determinism suite: parallel and cached runs match serial bit-for-bit.
+
+The execution layer's core promise (docs/performance.md) is that
+``--jobs N`` and the result cache are pure performance knobs — every
+SweepResult cell and every rendered report byte is identical to a serial
+uncached run. These tests pin that promise on real experiments at small
+reference budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import EXEC, execution
+from repro.experiments import table7, table8
+
+MAX_REFS = 4_000
+
+
+def _table7_fingerprint(result) -> tuple:
+    sweep = result.sweep
+    return (
+        tuple(sweep.row_names),
+        tuple(sweep.column_sizes),
+        tuple(tuple(row) for row in sweep.cells),
+        result.mean_ratio_64kb_up,
+        table7.render(result),
+    )
+
+
+def _table8_fingerprint(result) -> tuple:
+    return tuple(
+        (
+            tuple(grid.row_names),
+            tuple(grid.column_sizes),
+            tuple(tuple(row) for row in grid.cells),
+        )
+        for grid in (result.sweep, result.cache_traffic, result.mtc_traffic)
+    ) + (table8.render(result),)
+
+
+@pytest.fixture(scope="module")
+def serial_table7():
+    with execution(jobs=1):
+        return _table7_fingerprint(table7.run(max_refs=MAX_REFS))
+
+
+class TestParallelDeterminism:
+    def test_table7_jobs4_matches_serial(self, serial_table7):
+        with execution(jobs=4):
+            parallel = _table7_fingerprint(table7.run(max_refs=MAX_REFS))
+        assert parallel == serial_table7
+
+    def test_table8_jobs4_matches_serial(self):
+        with execution(jobs=1):
+            serial = _table8_fingerprint(table8.run(max_refs=2_000))
+        with execution(jobs=4):
+            parallel = _table8_fingerprint(table8.run(max_refs=2_000))
+        assert parallel == serial
+
+
+class TestCacheDeterminism:
+    def test_cold_and_warm_match_serial(self, serial_table7, tmp_path):
+        with execution(jobs=1, cache_dir=tmp_path / "cache"):
+            cold = _table7_fingerprint(table7.run(max_refs=MAX_REFS))
+            stores = EXEC.cache.stores
+            warm = _table7_fingerprint(table7.run(max_refs=MAX_REFS))
+            hits = EXEC.cache.hits
+        assert stores > 0
+        assert hits == stores  # every row came back from disk
+        assert cold == serial_table7
+        assert warm == serial_table7
+
+    def test_parallel_cold_cache_matches_serial(self, serial_table7, tmp_path):
+        with execution(jobs=4, cache_dir=tmp_path / "cache"):
+            combined = _table7_fingerprint(table7.run(max_refs=MAX_REFS))
+        assert combined == serial_table7
+
+    def test_different_max_refs_do_not_collide(self, tmp_path):
+        with execution(jobs=1, cache_dir=tmp_path / "cache"):
+            first = table7.run(max_refs=2_000)
+            second = table7.run(max_refs=3_000)
+        assert _table7_fingerprint(first) != _table7_fingerprint(second)

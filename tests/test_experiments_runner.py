@@ -87,6 +87,19 @@ class TestSweepGrid:
         with pytest.raises(ConfigurationError):
             grid.cell("Espresso", 4096)
 
+    def test_duplicate_row_names_rejected(self):
+        # Duplicate names used to be accepted silently; row() would then
+        # return only the first row's cells, hiding the second workload.
+        axis = ScaledAxis(scale=0.25)
+        workloads = [
+            get_workload("Espresso", scale=0.25),
+            get_workload("Espresso", scale=0.25),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            sweep_grid(
+                "test", workloads, axis, lambda w, size: 1.0, sizes=[1024]
+            )
+
 
 class TestRendering:
     def test_render_sweep_marks_too_big(self):

@@ -52,6 +52,22 @@ class TestParseSize:
         with pytest.raises(ConfigurationError):
             parse_size(-1)
 
+    def test_negative_string_rejected(self):
+        # "-1KB" used to parse to -1024 because only the int path
+        # checked the sign; a negative byte count is never a valid size.
+        with pytest.raises(ConfigurationError):
+            parse_size("-1KB")
+        with pytest.raises(ConfigurationError):
+            parse_size("-5")
+
+    def test_bool_rejected(self):
+        # bool is a subclass of int: parse_size(True) == 1 would hide a
+        # caller bug (e.g. a misplaced flag) as a 1-byte cache.
+        with pytest.raises(ConfigurationError):
+            parse_size(True)
+        with pytest.raises(ConfigurationError):
+            parse_size(False)
+
     def test_garbage_rejected(self):
         with pytest.raises(ConfigurationError):
             parse_size("lots")
