@@ -24,6 +24,10 @@ Commands
 Every simulation command also accepts the observability flags
 ``--verbose`` (structured event logging on stderr) and
 ``--trace-events PATH`` (JSONL event export); see docs/observability.md.
+``experiment``, ``simulate``, and ``profile`` additionally take
+``--engine {auto,scalar,vector}`` to pin the simulation engine (see
+docs/performance.md); the ``bench_cache``/``bench_mtc``/``bench_sweep``
+experiments time the scalar and vector engines against each other.
 The ``experiment`` command additionally takes the execution-layer flags
 ``--jobs N`` (worker processes), ``--no-cache``, and ``--cache-dir PATH``
 (result caching is on by default, rooted at ``.repro-cache/``);
@@ -57,8 +61,15 @@ EXPERIMENT_MODULES = {
         "table8",
         "table9",
         "epin",
+        "bench_cache",
+        "bench_mtc",
+        "bench_sweep",
     )
 }
+
+#: Mirrors repro.mem.engines.ENGINE_CHOICES (kept literal so building the
+#: parser never imports numpy; a test pins the two in sync).
+ENGINE_CHOICES = ("auto", "scalar", "vector")
 
 
 def positive_int(text: str) -> int:
@@ -109,10 +120,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write simulation events as JSONL to PATH",
     )
 
+    # Engine selection shared by the simulation-heavy commands.
+    engine_flags = argparse.ArgumentParser(add_help=False)
+    engine_flags.add_argument(
+        "--engine",
+        choices=list(ENGINE_CHOICES),
+        default=None,
+        help=(
+            "simulation engine: auto picks per call, scalar forces the "
+            "reference loops, vector requires the fast kernels "
+            "(default: $REPRO_ENGINE or auto)"
+        ),
+    )
+
     sub.add_parser("list", help="list experiments and workloads")
 
     experiment = sub.add_parser(
-        "experiment", parents=[obs_flags], help="regenerate a table/figure"
+        "experiment",
+        parents=[obs_flags, engine_flags],
+        help="regenerate a table/figure",
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
     experiment.add_argument(
@@ -140,7 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     simulate = sub.add_parser(
-        "simulate", parents=[obs_flags], help="run a workload through a cache"
+        "simulate",
+        parents=[obs_flags, engine_flags],
+        help="run a workload through a cache",
     )
     simulate.add_argument("workload")
     simulate.add_argument("--size", default="16KB", help="cache size (e.g. 64KB)")
@@ -174,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser(
         "profile",
-        parents=[obs_flags],
+        parents=[obs_flags, engine_flags],
         help="profile one experiment run (stages, throughput, counters)",
     )
     profile.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
@@ -372,6 +400,23 @@ def _configure_observability(args) -> bool:
     return True
 
 
+def _engine_context(args):
+    """Context manager pinning the engine when ``--engine`` was given.
+
+    With no flag the process default stays in charge (``$REPRO_ENGINE``
+    or auto) and :mod:`repro.mem.engines` — hence numpy — is never
+    imported just to parse the command line.
+    """
+    engine = getattr(args, "engine", None)
+    if engine is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    from repro.mem.engines import use_engine
+
+    return use_engine(engine)
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
@@ -379,20 +424,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     observing = False
     try:
         observing = _configure_observability(args)
-        if args.command == "list":
-            _cmd_list(out)
-        elif args.command == "experiment":
-            _cmd_experiment(args, out)
-        elif args.command == "simulate":
-            _cmd_simulate(args, out)
-        elif args.command == "decompose":
-            _cmd_decompose(args, out)
-        elif args.command == "stats":
-            _cmd_stats(args, out)
-        elif args.command == "profile":
-            _cmd_profile(args, out)
-        elif args.command == "cache":
-            _cmd_cache(args, out)
+        with _engine_context(args):
+            return _dispatch(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -401,4 +434,21 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             from repro import obs
 
             obs.disable()
+
+
+def _dispatch(args, out) -> int:
+    if args.command == "list":
+        _cmd_list(out)
+    elif args.command == "experiment":
+        _cmd_experiment(args, out)
+    elif args.command == "simulate":
+        _cmd_simulate(args, out)
+    elif args.command == "decompose":
+        _cmd_decompose(args, out)
+    elif args.command == "stats":
+        _cmd_stats(args, out)
+    elif args.command == "profile":
+        _cmd_profile(args, out)
+    elif args.command == "cache":
+        _cmd_cache(args, out)
     return 0

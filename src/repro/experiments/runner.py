@@ -144,19 +144,49 @@ def _plan_rows(
     return plans
 
 
+def _row_values(
+    measure: Callable[[SyntheticWorkload, int], object],
+    workload: SyntheticWorkload,
+    simulated_sizes: Sequence[int],
+) -> list[object]:
+    """One row through a measure's whole-row path, shape-checked."""
+    values = list(measure.measure_row(workload, simulated_sizes))
+    if len(values) != len(simulated_sizes):
+        raise ConfigurationError(
+            f"measure_row returned {len(values)} values for "
+            f"{len(simulated_sizes)} sizes ({workload.name})"
+        )
+    return values
+
+
 def _measure_row(
     measure: Callable[[SyntheticWorkload, int], object],
     workload: SyntheticWorkload,
     simulated_sizes: Sequence[int],
 ) -> dict[str, list]:
-    """Top-level (hence picklable) row task: one workload, all its cells."""
+    """Top-level (hence picklable) row task: one workload, all its cells.
+
+    Measures exposing ``measure_row(workload, simulated_sizes)`` (the
+    one-pass multi-size engines of table7/table8) evaluate the whole row
+    in one call; only row-level timing exists then, reported as
+    ``row_seconds`` with per-cell ``seconds`` of ``None``.
+    """
+    if hasattr(measure, "measure_row"):
+        start = time.perf_counter()
+        values = _row_values(measure, workload, simulated_sizes)
+        elapsed = time.perf_counter() - start
+        return {
+            "values": values,
+            "seconds": [None] * len(values),
+            "row_seconds": elapsed,
+        }
     values: list[object] = []
     seconds: list[float] = []
     for simulated in simulated_sizes:
         start = time.perf_counter()
         values.append(measure(workload, simulated))
         seconds.append(time.perf_counter() - start)
-    return {"values": values, "seconds": seconds}
+    return {"values": values, "seconds": seconds, "row_seconds": None}
 
 
 def _evaluate_serial(
@@ -169,10 +199,32 @@ def _evaluate_serial(
     """The classic in-process path (jobs=1, no cache): zero new moving
     parts, identical instrumentation to the pre-exec-layer runner."""
     observed = OBS.enabled
+    row_capable = hasattr(measure, "measure_row")
     rows: list[list[object | None]] = []
     with OBS.span("sweep", title=title):
         for workload, plan in zip(workloads, plans):
             row: list[object | None] = [None] * len(size_list)
+            if row_capable and plan:
+                simulated_sizes = [simulated for _, _, simulated in plan]
+                start = time.perf_counter()
+                values = _row_values(measure, workload, simulated_sizes)
+                elapsed = time.perf_counter() - start
+                for (column, paper_size, simulated), value in zip(plan, values):
+                    row[column] = value
+                    if observed:
+                        OBS.count("sweep.cells")
+                        OBS.emit(
+                            "sweep.cell",
+                            title=title,
+                            workload=workload.name,
+                            paper_size=paper_size,
+                            simulated_size=simulated,
+                            value=value,
+                        )
+                if observed:
+                    OBS.observe("sweep.row", elapsed)
+                rows.append(row)
+                continue
             for column, paper_size, simulated in plan:
                 if not observed:
                     row[column] = measure(workload, simulated)
@@ -218,6 +270,14 @@ def evaluate_grid(
     beyond (workload, size): seed, reference budget, simulator config —
     previously computed rows are reused from disk. With the default
     context (serial, uncached) this is exactly the classic runner.
+
+    A measure may additionally expose ``measure_row(workload,
+    simulated_sizes) -> list`` to evaluate a whole row at once — the
+    one-pass multi-size engines (:mod:`repro.mem.engines`) compute every
+    size of a row from a single pass over the trace. Row measures are
+    bit-identical to per-cell measurement, so grids (and cache keys) do
+    not depend on which path ran; only the timing telemetry differs
+    (``sweep.row`` instead of per-cell ``sweep.measure``).
     """
     size_list = list(sizes) if sizes is not None else list(axis.paper_sizes)
     full = full_rows or set()
@@ -264,7 +324,8 @@ def evaluate_grid(
                 plan, outcome["values"], outcome["seconds"]
             ):
                 if observed:
-                    OBS.observe("sweep.measure", seconds)
+                    if seconds is not None:
+                        OBS.observe("sweep.measure", seconds)
                     OBS.count("sweep.cells")
                     OBS.emit(
                         "sweep.cell",
@@ -275,6 +336,8 @@ def evaluate_grid(
                         value=value,
                     )
                 row[column] = value
+            if observed and outcome.get("row_seconds") is not None:
+                OBS.observe("sweep.row", outcome["row_seconds"])
             rows.append(row)
     return size_list, rows
 

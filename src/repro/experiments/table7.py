@@ -98,6 +98,26 @@ class RatioMeasure:
             block_bytes=self.block_bytes,
         )
 
+    def measure_row(
+        self, workload: SyntheticWorkload, simulated_sizes: list[int]
+    ) -> list[float]:
+        """All of one benchmark's sizes from a single one-pass sweep.
+
+        Bit-identical to calling the per-cell path once per size (the
+        differential suite pins this), so cached grids and rendered
+        tables never depend on which path ran.
+        """
+        from repro.mem import engines
+
+        if engines.resolve_engine() == "scalar":
+            return [self(workload, size) for size in simulated_sizes]
+        family = engines.direct_mapped_family(
+            self.trace_for(workload),
+            list(simulated_sizes),
+            block_bytes=self.block_bytes,
+        )
+        return [family[size].traffic_ratio for size in simulated_sizes]
+
 
 def run(
     *,

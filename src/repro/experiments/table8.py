@@ -92,6 +92,33 @@ class InefficiencyMeasure:
         )
         return [g, cache_traffic, mtc_traffic]
 
+    def measure_row(
+        self, workload: SyntheticWorkload, simulated_sizes: list[int]
+    ) -> list[list[float]]:
+        """One benchmark's whole row: a one-pass direct-mapped family for
+        the numerators plus one shared MTC pass-1 across all sizes.
+
+        Bit-identical to the per-cell path (the differential suite pins
+        both engines), so cached grids never depend on which path ran.
+        """
+        from repro.mem import engines
+
+        if engines.resolve_engine() == "scalar":
+            return [self(workload, size) for size in simulated_sizes]
+        trace = self.trace_for(workload)
+        sizes = list(simulated_sizes)
+        family = engines.direct_mapped_family(trace, sizes, block_bytes=32)
+        prepared = engines.prepare_mtc(trace)
+        row: list[list[float]] = []
+        for size in sizes:
+            cache_traffic = family[size].total_traffic_bytes
+            mtc = MinimalTrafficCache(MTCConfig(size_bytes=size))
+            mtc_traffic = mtc.simulate(
+                trace, prepared=prepared
+            ).total_traffic_bytes
+            row.append([cache_traffic / mtc_traffic, cache_traffic, mtc_traffic])
+        return row
+
 
 def run(
     *,

@@ -2,7 +2,9 @@
 
 Trace-driven functional cache models (:mod:`repro.mem.cache`,
 :mod:`repro.mem.mtc`) reproduce the paper's DineroIII and minimal-traffic-
-cache measurements; the timing-side memory system (:mod:`repro.mem.timing`
+cache measurements; :mod:`repro.mem.engines` holds their vectorized
+simulation kernels plus the process-wide engine selection
+(``auto``/``scalar``/``vector``); the timing-side memory system (:mod:`repro.mem.timing`
 — buses, MSHRs, prefetch) serves the execution-time decomposition
 experiments. Extension mechanisms from the paper's Sections 5.3/6 live in
 :mod:`repro.mem.bypass` (Tyson-style selective caching),
@@ -17,6 +19,16 @@ bandwidth pressure).
 """
 
 from repro.mem.cache import Cache, CacheConfig, CacheStats, WritePolicy, AllocatePolicy
+from repro.mem.engines import (
+    ENGINE_CHOICES,
+    current_engine,
+    direct_mapped_family,
+    fully_associative_lru_family,
+    prepare_mtc,
+    resolve_engine,
+    set_engine,
+    use_engine,
+)
 from repro.mem.hierarchy import HierarchyResult, TraceHierarchy
 from repro.mem.mtc import MinimalTrafficCache, MTCConfig
 from repro.mem.bypass import BypassCache, BypassCacheConfig, bypass_benefit
@@ -65,6 +77,14 @@ __all__ = [
     "AllocatePolicy",
     "CacheConfig",
     "CacheStats",
+    "ENGINE_CHOICES",
+    "current_engine",
+    "set_engine",
+    "use_engine",
+    "resolve_engine",
+    "direct_mapped_family",
+    "fully_associative_lru_family",
+    "prepare_mtc",
     "TraceHierarchy",
     "HierarchyResult",
     "MinimalTrafficCache",

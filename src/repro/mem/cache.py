@@ -182,7 +182,16 @@ class CacheStats:
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
-        """Combine two runs' stats (for chunked simulations)."""
+        """Combine the stats of two *independent* runs.
+
+        Every field sums, including ``flush_writeback_bytes`` — so this is
+        only correct when each run really did end (and flushed) on its
+        own. To simulate one logical trace delivered in chunks, use
+        :meth:`Cache.simulate_chunked`, which carries cache state across
+        chunk boundaries and flushes once; merging per-chunk
+        ``simulate()`` results instead would flush (and count) every
+        chunk's dirty data at each boundary.
+        """
         return CacheStats(
             accesses=self.accesses + other.accesses,
             reads=self.reads + other.reads,
@@ -398,20 +407,40 @@ class Cache:
 
     # -- whole-trace simulation ------------------------------------------------------
 
-    def simulate(self, trace: MemTrace, *, flush: bool = True) -> CacheStats:
+    def simulate(
+        self,
+        trace: MemTrace,
+        *,
+        flush: bool = True,
+        engine: str | None = None,
+    ) -> CacheStats:
         """Run a whole trace through a fresh copy of this cache's state.
 
         The cache must be freshly constructed (no prior accesses); oracle
         policies are prepared with the trace's block sequence first.
+        *engine* overrides the process-wide selection for this run (see
+        :mod:`repro.mem.engines`); vector engines produce bit-identical
+        stats, so results never depend on the choice.
         """
         if self.stats.accesses:
             raise SimulationError(
                 "simulate() requires a fresh cache; this one has history"
             )
-        if self._fast_path_eligible():
-            self.stats = _simulate_direct_mapped_writeback(self.config, trace, flush)
-            self._record_run(trace)
-            return self.stats
+        from repro.mem import engines
+
+        selection = engines.resolve_engine(engine)
+        if selection != "scalar":
+            result = engines.dispatch_cache(
+                self.config,
+                trace,
+                flush=flush,
+                selection=selection,
+                listener=self.listener,
+            )
+            if result is not None:
+                self.stats = result
+                self._record_run(trace)
+                return self.stats
         if self._policy.needs_future:
             self._policy.prepare(trace.addresses // self.config.block_bytes)
         addresses = trace.addresses.tolist()
@@ -422,6 +451,39 @@ class Cache:
         if flush:
             self.flush()
         self._record_run(trace)
+        return self.stats
+
+    def simulate_chunked(
+        self, chunks: list[MemTrace], *, flush: bool = True
+    ) -> CacheStats:
+        """Simulate one logical trace delivered as consecutive chunks.
+
+        Cache state (residency, dirtiness, recency) carries across chunk
+        boundaries and the end-of-run flush happens exactly once, so the
+        result equals ``simulate()`` of the chunks' concatenation — the
+        property that naive per-chunk ``simulate()`` + ``merge()`` breaks
+        by flushing at every boundary. Oracle policies see the full
+        future across all chunks.
+        """
+        if self.stats.accesses:
+            raise SimulationError(
+                "simulate_chunked() requires a fresh cache; this one has history"
+            )
+        chunks = list(chunks)
+        if self._policy.needs_future:
+            if chunks:
+                future = np.concatenate([c.addresses for c in chunks])
+            else:
+                future = np.empty(0, dtype=np.int64)
+            self._policy.prepare(future // self.config.block_bytes)
+        access = self.access
+        for chunk in chunks:
+            for address, write in zip(
+                chunk.addresses.tolist(), chunk.is_write.tolist()
+            ):
+                access(address, write)
+        if flush:
+            self.flush()
         return self.stats
 
     def _record_run(self, trace: MemTrace) -> None:

@@ -119,8 +119,8 @@ def _events_to_trace(
     words = sizes // WORD_BYTES
     total = int(words.sum())
     starts = np.concatenate(([0], np.cumsum(words)[:-1]))
-    owner = np.repeat(np.arange(len(events)), words)
-    offsets = np.arange(total) - starts[owner]
+    owner = np.repeat(np.arange(len(events), dtype=np.int64), words)
+    offsets = np.arange(total, dtype=np.int64) - starts[owner]
     out_addr = addresses[owner] + offsets * WORD_BYTES
     out_write = writes[owner]
     return MemTrace(out_addr, out_write, name=name)

@@ -77,11 +77,41 @@ class MinimalTrafficCache:
         self.stats = CacheStats()
         self._ran = False
 
-    def simulate(self, trace: MemTrace, *, flush: bool = True) -> CacheStats:
-        """Run *trace* through the MTC and return its traffic statistics."""
+    def simulate(
+        self,
+        trace: MemTrace,
+        *,
+        flush: bool = True,
+        engine: str | None = None,
+        prepared=None,
+    ) -> CacheStats:
+        """Run *trace* through the MTC and return its traffic statistics.
+
+        *engine* overrides the process-wide selection (see
+        :mod:`repro.mem.engines`); the fast engine is bit-identical, so
+        results never depend on the choice. *prepared* optionally reuses
+        a :class:`~repro.mem.engines.PreparedMTC` pass-1 product across
+        sizes (fast engine only; the scalar loop recomputes its own).
+        """
         if self._ran:
             raise SimulationError("MinimalTrafficCache instances are single-use")
         self._ran = True
+
+        from repro.mem import engines
+
+        selection = engines.resolve_engine(engine)
+        if selection != "scalar":
+            reason = engines.mtc_fast_supported(self.config)
+            if reason is None:
+                self.stats = engines.simulate_mtc_fast(
+                    self.config, trace, flush=flush, prepared=prepared
+                )
+                self._record(trace)
+                return self.stats
+            if selection == "vector":
+                raise ConfigurationError(
+                    f"no vector engine for {self.config.describe()}: {reason}"
+                )
 
         config = self.config
         block_bytes = config.block_bytes
@@ -197,20 +227,26 @@ class MinimalTrafficCache:
                         flushed += block_bytes
             stats.flush_writeback_bytes = flushed
 
-        if OBS.enabled:
-            OBS.count("mtc.simulations")
-            OBS.count("mtc.accesses", stats.accesses)
-            OBS.count("mtc.misses", stats.misses)
-            OBS.count("mtc.traffic_bytes", stats.total_traffic_bytes)
-            OBS.emit(
-                "mtc.simulate",
-                config=config.describe(),
-                trace=trace.name,
-                accesses=stats.accesses,
-                misses=stats.misses,
-                traffic_bytes=stats.total_traffic_bytes,
-            )
+        self._record(trace)
         return stats
+
+    def _record(self, trace: MemTrace) -> None:
+        """Aggregate one simulate() run into the instrumentation layer."""
+        if not OBS.enabled:
+            return
+        stats = self.stats
+        OBS.count("mtc.simulations")
+        OBS.count("mtc.accesses", stats.accesses)
+        OBS.count("mtc.misses", stats.misses)
+        OBS.count("mtc.traffic_bytes", stats.total_traffic_bytes)
+        OBS.emit(
+            "mtc.simulate",
+            config=self.config.describe(),
+            trace=trace.name,
+            accesses=stats.accesses,
+            misses=stats.misses,
+            traffic_bytes=stats.total_traffic_bytes,
+        )
 
     def __repr__(self) -> str:
         return f"<MinimalTrafficCache {self.config.describe()}>"

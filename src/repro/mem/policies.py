@@ -210,8 +210,27 @@ class MINPolicy(ReplacementPolicy):
 def compute_next_use(block_sequence: np.ndarray) -> np.ndarray:
     """For each position i, the next position referencing the same block.
 
-    Positions with no later reference get :data:`NEVER`. Runs in O(N) via a
-    single backward sweep.
+    Positions with no later reference get :data:`NEVER`. Vectorized: a
+    stable argsort groups each block's occurrences in time order, so every
+    occurrence's successor within its group is its next use. Equivalent to
+    (and property-tested against) the obvious backward dict sweep, but an
+    order of magnitude faster — this is pass 1 of every MIN simulation.
+    """
+    n = int(block_sequence.size)
+    next_use = np.full(n, NEVER, dtype=np.int64)
+    if n == 0:
+        return next_use
+    order = np.argsort(block_sequence, kind="stable")
+    grouped = block_sequence[order]
+    same_block = grouped[1:] == grouped[:-1]
+    next_use[order[:-1][same_block]] = order[1:][same_block]
+    return next_use
+
+
+def compute_next_use_scalar(block_sequence: np.ndarray) -> np.ndarray:
+    """Reference implementation of :func:`compute_next_use` (backward sweep).
+
+    Kept as the differential-testing oracle for the vectorized version.
     """
     n = int(block_sequence.size)
     next_use = np.full(n, NEVER, dtype=np.int64)

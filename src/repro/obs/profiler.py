@@ -14,8 +14,11 @@ Schema ``repro.profile/v1``::
       "schema": "repro.profile/v1",
       "experiment": "table2",
       "max_refs": 5000,
+      "engine": "auto",              # resolved engine selection
       "wall_seconds": 1.234,
-      "stages": [{"name": "run", "seconds": 1.2}, ...],
+      "stages": [{"name": "run", "seconds": 1.2,
+                  "references": 123456,          # refs in this stage
+                  "refs_per_second": 102880.0}, ...],
       "references": 123456,          # word refs simulated (cache + MTC)
       "refs_per_second": 101234.5,   # references / run-stage seconds
       "counters": {...},             # deterministic under a fixed seed
@@ -61,10 +64,20 @@ _REFERENCE_COUNTERS = ("cache.accesses", "mtc.accesses")
 
 @dataclass(frozen=True, slots=True)
 class StageTiming:
-    """Wall-clock seconds spent in one named stage of a run."""
+    """Wall-clock seconds spent in one named stage of a run.
+
+    *references* counts the word references simulated while the stage
+    ran (cache + MTC engines combined), so per-stage throughput shows
+    which stage the simulation kernels actually ran in.
+    """
 
     name: str
     seconds: float
+    references: int = 0
+
+    @property
+    def refs_per_second(self) -> float:
+        return fraction(self.references, self.seconds)
 
 
 @dataclass(slots=True)
@@ -78,6 +91,7 @@ class RunProfile:
     counters: dict[str, int]
     timers: dict[str, dict[str, float]] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    engine: str = "auto"
 
     @property
     def references(self) -> int:
@@ -100,9 +114,15 @@ class RunProfile:
             "schema": PROFILE_SCHEMA,
             "experiment": self.experiment,
             "max_refs": self.max_refs,
+            "engine": self.engine,
             "wall_seconds": self.wall_seconds,
             "stages": [
-                {"name": stage.name, "seconds": stage.seconds}
+                {
+                    "name": stage.name,
+                    "seconds": stage.seconds,
+                    "references": stage.references,
+                    "refs_per_second": stage.refs_per_second,
+                }
                 for stage in self.stages
             ],
             "references": self.references,
@@ -141,16 +161,28 @@ def profile_experiment(
     every profiled second is simulation, not disk.
     """
     from repro.exec import execution
+    from repro.mem import engines
 
     module_path = f"repro.experiments.{name}"
     overall_start = time.perf_counter()
     stages: list[StageTiming] = []
 
+    def simulated_references() -> int:
+        counters = OBS.registry.snapshot()["counters"]
+        return sum(counters.get(key, 0) for key in _REFERENCE_COUNTERS)
+
     def staged(stage_name: str, fn):
         with OBS.span("stage", stage=stage_name):
             start = time.perf_counter()
+            before = simulated_references()
             result = fn()
-            stages.append(StageTiming(stage_name, time.perf_counter() - start))
+            stages.append(
+                StageTiming(
+                    stage_name,
+                    time.perf_counter() - start,
+                    references=simulated_references() - before,
+                )
+            )
         return result
 
     with instrumented(sink=sink), execution(jobs=jobs):
@@ -174,6 +206,7 @@ def profile_experiment(
         counters=snapshot["counters"],
         timers=snapshot["timers"],
         gauges=snapshot["gauges"],
+        engine=engines.resolve_engine(),
     )
     return profile, rendered
 
@@ -184,7 +217,8 @@ def render_profile(profile: RunProfile) -> str:
 
     lines = [
         f"profile: {profile.experiment}"
-        + (f" (max_refs={profile.max_refs:,})" if profile.max_refs else ""),
+        + (f" (max_refs={profile.max_refs:,})" if profile.max_refs else "")
+        + f" [engine={profile.engine}]",
         "",
     ]
     rows = [
@@ -192,11 +226,14 @@ def render_profile(profile: RunProfile) -> str:
             stage.name,
             f"{stage.seconds:.3f}s",
             f"{fraction(stage.seconds, profile.wall_seconds):.1%}",
+            f"{stage.refs_per_second:,.0f}" if stage.references else "-",
         ]
         for stage in profile.stages
     ]
-    rows.append(["total", f"{profile.wall_seconds:.3f}s", "100.0%"])
-    lines.append(format_table(["stage", "seconds", "share"], rows))
+    rows.append(
+        ["total", f"{profile.wall_seconds:.3f}s", "100.0%", "-"]
+    )
+    lines.append(format_table(["stage", "seconds", "share", "refs/s"], rows))
     lines.append("")
     lines.append(
         f"references simulated: {profile.references:,} "

@@ -16,12 +16,20 @@ independent implementations agreeing on every trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.trace.model import MemTrace
-from repro.trace.stats import reuse_distances
+from repro.trace.stats import reuse_distances, stack_distance_profile
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.mem.cache import CacheStats
+
+#: Sentinel distance for cold misses / never-again events (matches
+#: :data:`repro.mem.policies.NEVER`; kept literal to avoid an import cycle).
+_INFINITE = 1 << 62
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +97,176 @@ def predicted_misses(
     other is the point).
     """
     return miss_ratio_curve(trace, block_bytes).misses_at(capacity_blocks)
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficCurve:
+    """Full traffic statistics of every fully-associative LRU size at once.
+
+    The classic Mattson pass yields the *miss* count of every capacity
+    from one distance histogram. This extends the same pass to the
+    paper's *traffic* accounting for a write-back, write-allocate LRU
+    cache — fetches, dirty-eviction write-backs, and end-of-run flush
+    write-backs — by histogramming three more per-reference/per-block
+    quantities over stack distance:
+
+    * per-kind distance histograms split hits into read and write hits;
+    * a *dirty generation* starts at any write whose block missed since
+      the block's previous write — i.e. whose window-maximum stack
+      distance reaches the capacity — and each dirty generation is
+      written back exactly once (at eviction or at the final flush);
+    * a dirty generation is a *flush* (not an eviction) write-back iff
+      the block's last write's generation survives to the end of the
+      run, which reduces to ``max(trailing-window distance, distinct
+      blocks after last touch) < capacity`` — one more histogram.
+
+    :meth:`stats_at` therefore reproduces, exactly, the ``CacheStats``
+    of an event-driven fully-associative LRU simulation at any capacity;
+    the differential suite pins this equality.
+    """
+
+    block_bytes: int
+    total_references: int
+    total_reads: int
+    total_writes: int
+    #: Histograms over stack distance d of finite-distance references,
+    #: split by kind: a reference hits at capacity C iff d < C.
+    read_hit_histogram: np.ndarray
+    write_hit_histogram: np.ndarray
+    #: Histogram of each write's window-maximum distance M_w (finite
+    #: values); the write starts a new dirty generation iff M_w >= C.
+    dirty_generation_histogram: np.ndarray
+    #: Writes whose window reaches a cold miss (every block's first
+    #: write): these start a dirty generation at every capacity.
+    always_dirty_generations: int
+    #: Histogram of max(trailing distance, blocks-after-last-touch) per
+    #: written block; the block's final dirty data is flushed (still
+    #: resident at end of run) iff that maximum is < C.
+    flush_histogram: np.ndarray
+
+    def stats_at(self, capacity_blocks: int, *, flush: bool = True) -> "CacheStats":
+        """Exact WB/WA fully-associative LRU stats at one capacity."""
+        from repro.mem.cache import CacheStats
+
+        if capacity_blocks <= 0:
+            raise TraceError("capacity must be positive")
+        c = capacity_blocks
+        block_bytes = self.block_bytes
+        read_hits = int(self.read_hit_histogram[:c].sum())
+        write_hits = int(self.write_hit_histogram[:c].sum())
+        misses = self.total_references - read_hits - write_hits
+        dirty_generations = self.always_dirty_generations + int(
+            self.dirty_generation_histogram[c:].sum()
+        )
+        flushed = int(self.flush_histogram[:c].sum())
+        stats = CacheStats(
+            accesses=self.total_references,
+            reads=self.total_reads,
+            writes=self.total_writes,
+            read_hits=read_hits,
+            write_hits=write_hits,
+            fetch_bytes=misses * block_bytes,
+            writeback_bytes=(dirty_generations - flushed) * block_bytes,
+        )
+        if flush:
+            stats.flush_writeback_bytes = flushed * block_bytes
+        return stats
+
+
+def traffic_curve(trace: MemTrace, block_bytes: int = 32) -> TrafficCurve:
+    """One-pass extended Mattson analysis of *trace* (see TrafficCurve).
+
+    Cost: one Fenwick stack-distance pass plus a handful of vectorized
+    segmented reductions — independent of how many capacities are then
+    read off the curve, where per-size simulation pays the full trace
+    once *per* size (and fully-associative LRU simulation pays an O(C)
+    victim scan per miss on top).
+    """
+    if block_bytes <= 0:
+        raise TraceError("block_bytes must be positive")
+    distances = stack_distance_profile(trace, block_bytes=block_bytes)
+    n = len(trace)
+    writes = trace.is_write
+    empty = np.zeros(1, dtype=np.int64)
+
+    def hist(values: np.ndarray) -> np.ndarray:
+        return np.bincount(values) if values.size else empty
+
+    finite = distances >= 0
+    curve_kwargs = dict(
+        block_bytes=block_bytes,
+        total_references=n,
+        total_reads=trace.read_count,
+        total_writes=trace.write_count,
+        read_hit_histogram=hist(distances[finite & ~writes]),
+        write_hit_histogram=hist(distances[finite & writes]),
+    )
+    if not int(trace.write_count):
+        return TrafficCurve(
+            dirty_generation_histogram=empty,
+            always_dirty_generations=0,
+            flush_histogram=empty,
+            **curve_kwargs,
+        )
+
+    # Group references by block, time-ordered within each group, and cut
+    # the groups into segments ending at each write: the segment maximum
+    # is M_w, the largest stack distance since the block's previous
+    # write (cold first touches count as infinite).
+    blocks = trace.addresses // block_bytes
+    order = np.argsort(blocks, kind="stable")
+    grouped = blocks[order]
+    capped = np.where(distances[order] < 0, _INFINITE, distances[order])
+    sorted_writes = writes[order]
+
+    head_mask = np.empty(n, dtype=bool)
+    head_mask[0] = True
+    head_mask[1:] = grouped[1:] != grouped[:-1]
+    head_idx = np.nonzero(head_mask)[0]
+    write_idx = np.nonzero(sorted_writes)[0]
+    starts = np.unique(np.concatenate((head_idx, write_idx + 1)))
+    starts = starts[starts < n]
+    segment_max = np.maximum.reduceat(capped, starts)
+    write_segment = np.searchsorted(starts, write_idx, side="right") - 1
+    window_max = segment_max[write_segment]
+    always = int(np.count_nonzero(window_max >= _INFINITE))
+    finite_max = window_max[window_max < _INFINITE]
+
+    # Per written block: the trailing segment after its last write (no
+    # trailing accesses -> -1, "always within the last generation") and
+    # the number of distinct blocks touched after its last access (the
+    # block stays resident at capacity C iff that count is < C).
+    group_of = np.cumsum(head_mask) - 1
+    group_ends = np.concatenate((head_idx[1:], [n]))
+    last_touch = order[group_ends - 1]
+    after_rank = np.empty(last_touch.size, dtype=np.int64)
+    after_rank[np.argsort(-last_touch)] = np.arange(
+        last_touch.size, dtype=np.int64
+    )
+
+    write_groups = group_of[write_idx]
+    tail = np.empty(write_idx.size, dtype=bool)
+    tail[:-1] = write_groups[1:] != write_groups[:-1]
+    tail[-1] = True
+    written = write_groups[tail]          # ascending, one per written block
+    last_write = write_idx[tail]
+    trailing = np.full(written.size, -1, dtype=np.int64)
+    has_trailing = last_write < group_ends[written] - 1
+    if has_trailing.any():
+        trail_segment = (
+            np.searchsorted(starts, last_write[has_trailing] + 1, side="right")
+            - 1
+        )
+        # Trailing accesses are re-references, so the maximum is finite.
+        trailing[has_trailing] = segment_max[trail_segment]
+    flush_key = np.maximum(trailing, after_rank[written])
+
+    return TrafficCurve(
+        dirty_generation_histogram=hist(finite_max),
+        always_dirty_generations=always,
+        flush_histogram=hist(flush_key),
+        **curve_kwargs,
+    )
 
 
 def working_set_sizes(

@@ -48,8 +48,8 @@ def split_doublewords(
     # Vectorized expansion: compute, for every output slot, which input access
     # it belongs to and its word offset inside that access.
     starts = np.concatenate(([0], np.cumsum(words_per_access)[:-1]))
-    owner = np.repeat(np.arange(addr.size), words_per_access)
-    offset = np.arange(total) - starts[owner]
+    owner = np.repeat(np.arange(addr.size, dtype=np.int64), words_per_access)
+    offset = np.arange(total, dtype=np.int64) - starts[owner]
     out_addr[:] = (addr[owner] & ~np.int64(WORD_BYTES - 1)) + offset * WORD_BYTES
     out_write[:] = writes[owner]
     return MemTrace(out_addr, out_write, name=name)

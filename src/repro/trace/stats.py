@@ -48,6 +48,22 @@ def reuse_distances(trace: MemTrace, block_bytes: int = WORD_BYTES) -> np.ndarra
     references are excluded. Computed exactly with an order-statistic over a
     Fenwick tree in O(N log N).
     """
+    profile = stack_distance_profile(trace, block_bytes)
+    return profile[profile >= 0]
+
+
+def stack_distance_profile(
+    trace: MemTrace, block_bytes: int = WORD_BYTES
+) -> np.ndarray:
+    """Per-reference LRU stack distances, aligned with the trace.
+
+    Like :func:`reuse_distances` but one entry per reference, with
+    first-touch (cold) references marked ``-1``. This alignment is what
+    the one-pass sweep engines need: the extended Mattson analysis in
+    :mod:`repro.trace.mrc` pairs each distance with its reference's
+    read/write kind and position to recover traffic — not just misses —
+    for every cache size from a single pass.
+    """
     if block_bytes <= 0:
         raise TraceError("block_bytes must be positive")
     blocks = (trace.addresses // block_bytes).tolist()
@@ -71,16 +87,16 @@ def reuse_distances(trace: MemTrace, block_bytes: int = WORD_BYTES) -> np.ndarra
         return total
 
     last_position: dict[int, int] = {}
-    distances: list[int] = []
+    distances = np.full(n, -1, dtype=np.int64)
     for position, block in enumerate(blocks):
         previous = last_position.get(block)
         if previous is not None:
             # Number of distinct blocks touched strictly after `previous`.
-            distances.append(prefix_sum(position - 1) - prefix_sum(previous))
+            distances[position] = prefix_sum(position - 1) - prefix_sum(previous)
             add(previous, -1)
         add(position, 1)
         last_position[block] = position
-    return np.asarray(distances, dtype=np.int64)
+    return distances
 
 
 def sequential_fraction(trace: MemTrace) -> float:

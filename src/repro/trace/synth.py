@@ -247,11 +247,15 @@ def tiled_matrix_multiply(
     blocks = n // tile
     addr_parts: list[np.ndarray] = []
     write_parts: list[np.ndarray] = []
-    ii, kk = np.meshgrid(np.arange(tile), np.arange(tile), indexing="ij")
-    flat_ik = (ii * n + kk).ravel().astype(np.int64)
+    ii, kk = np.meshgrid(
+        np.arange(tile, dtype=np.int64),
+        np.arange(tile, dtype=np.int64),
+        indexing="ij",
+    )
+    flat_ik = (ii * n + kk).ravel()
     for bi in range(blocks):
         for bj in range(blocks):
-            c_block = ((bi * tile + ii) * n + bj * tile + kk).ravel().astype(np.int64)
+            c_block = ((bi * tile + ii) * n + bj * tile + kk).ravel()
             for bk in range(blocks):
                 a_block = base_a + (flat_ik + (bi * tile * n + bk * tile)) * WORD_BYTES
                 b_block = base_b + (flat_ik + (bk * tile * n + bj * tile)) * WORD_BYTES

@@ -1,0 +1,300 @@
+"""Differential property suite for the vectorized simulation engines.
+
+Every vector kernel in :mod:`repro.mem.engines` must produce
+*bit-identical* :class:`~repro.mem.cache.CacheStats` to the scalar
+reference loops — not statistically close, exactly equal — across
+associativities, block sizes, write policies, allocation policies, and
+flush settings. These tests are the contract that lets experiments pick
+engines freely (and cache results) without the choice ever being
+observable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem import engines
+from repro.mem.cache import AllocatePolicy, Cache, CacheConfig, WritePolicy
+from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.trace.model import MemTrace
+
+
+def stats_key(stats):
+    """Every externally-visible CacheStats field, as one tuple."""
+    return (
+        stats.accesses,
+        stats.reads,
+        stats.writes,
+        stats.read_hits,
+        stats.write_hits,
+        stats.fetch_bytes,
+        stats.writeback_bytes,
+        stats.writethrough_bytes,
+        stats.flush_writeback_bytes,
+    )
+
+
+def make_trace(kind: str, n: int, seed: int) -> MemTrace:
+    rng = np.random.default_rng(seed)
+    if kind == "mix":
+        addrs = rng.integers(0, max(4, n // 2), size=n) * 4
+    elif kind == "seq":
+        addrs = (np.arange(n) % max(4, n // 3)) * 4
+    else:  # hot: a small hot region plus a cold tail
+        hot = rng.integers(0, 16, size=n)
+        cold = rng.integers(0, max(4, n * 2), size=n)
+        addrs = np.where(rng.random(n) < 0.7, hot, cold) * 4
+    return MemTrace(
+        addrs.astype(np.int64), rng.random(n) < 0.3, name=f"{kind}-{n}"
+    )
+
+
+def traces(max_words: int = 200, max_len: int = 400):
+    return st.builds(
+        lambda addrs, writes: MemTrace(
+            np.asarray(addrs, dtype=np.int64) * 4,
+            np.asarray((writes + [False] * len(addrs))[: len(addrs)]),
+        ),
+        st.lists(st.integers(0, max_words - 1), min_size=1, max_size=max_len),
+        st.lists(st.booleans(), min_size=0, max_size=max_len),
+    )
+
+
+POLICY_COMBOS = [
+    (WritePolicy.WRITEBACK, AllocatePolicy.WRITE_ALLOCATE),
+    (WritePolicy.WRITEBACK, AllocatePolicy.WRITE_VALIDATE),
+    (WritePolicy.WRITEBACK, AllocatePolicy.NO_ALLOCATE),
+    (WritePolicy.WRITETHROUGH, AllocatePolicy.WRITE_ALLOCATE),
+    (WritePolicy.WRITETHROUGH, AllocatePolicy.NO_ALLOCATE),
+]
+
+
+# --------------------------------------------------------------------------
+# Set-associative LRU column kernel
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    trace=traces(),
+    geometry=st.sampled_from(
+        [(256, 16, 2), (1024, 32, 4), (4096, 32, 8), (512, 64, 2)]
+    ),
+    policies=st.sampled_from(POLICY_COMBOS),
+    flush=st.booleans(),
+)
+def test_columns_match_scalar(trace, geometry, policies, flush):
+    size, block, assoc = geometry
+    write_policy, allocate = policies
+    config = CacheConfig(
+        size_bytes=size,
+        block_bytes=block,
+        associativity=assoc,
+        write_policy=write_policy,
+        allocate=allocate,
+    )
+    scalar = Cache(config).simulate(trace, flush=flush, engine="scalar")
+    vector = Cache(config).simulate(trace, flush=flush, engine="vector")
+    assert stats_key(scalar) == stats_key(vector)
+
+
+def test_columns_match_scalar_dense_grid():
+    """Deterministic sweep over every policy combo and several shapes."""
+    for kind in ("mix", "seq", "hot"):
+        trace = make_trace(kind, 800, seed=11)
+        for size, block, assoc in ((256, 16, 2), (1024, 32, 4), (65536, 32, 4)):
+            for write_policy, allocate in POLICY_COMBOS:
+                config = CacheConfig(
+                    size_bytes=size,
+                    block_bytes=block,
+                    associativity=assoc,
+                    write_policy=write_policy,
+                    allocate=allocate,
+                )
+                scalar = Cache(config).simulate(trace, engine="scalar")
+                vector = Cache(config).simulate(trace, engine="vector")
+                assert stats_key(scalar) == stats_key(vector), (
+                    kind,
+                    config.describe(),
+                )
+
+
+def test_columns_empty_trace():
+    empty = MemTrace(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+    config = CacheConfig(size_bytes=1024, block_bytes=32, associativity=4)
+    assert stats_key(Cache(config).simulate(empty, engine="vector")) == (
+        stats_key(Cache(config).simulate(empty, engine="scalar"))
+    )
+
+
+# --------------------------------------------------------------------------
+# Miss-jumping MTC engine
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    trace=traces(),
+    size=st.sampled_from([64, 256, 4096]),
+    allocate=st.sampled_from(
+        [AllocatePolicy.WRITE_VALIDATE, AllocatePolicy.WRITE_ALLOCATE]
+    ),
+    bypass=st.booleans(),
+    flush=st.booleans(),
+)
+def test_mtc_fast_matches_scalar(trace, size, allocate, bypass, flush):
+    config = MTCConfig(size_bytes=size, allocate=allocate, bypass=bypass)
+    scalar = MinimalTrafficCache(config).simulate(
+        trace, flush=flush, engine="scalar"
+    )
+    fast = MinimalTrafficCache(config).simulate(
+        trace, flush=flush, engine="vector"
+    )
+    assert stats_key(scalar) == stats_key(fast)
+
+
+def test_mtc_prepared_reuse_across_sizes():
+    """One pass-1 product serves every size of a row, bit-identically."""
+    trace = make_trace("mix", 3000, seed=5)
+    prepared = engines.prepare_mtc(trace)
+    for size in (64, 256, 1024, 65536, 1 << 20):
+        config = MTCConfig(size_bytes=size)
+        scalar = MinimalTrafficCache(config).simulate(trace, engine="scalar")
+        fast = MinimalTrafficCache(config).simulate(
+            trace, engine="vector", prepared=prepared
+        )
+        assert stats_key(scalar) == stats_key(fast), size
+
+
+def test_mtc_fast_rejects_multiword_blocks_under_vector():
+    trace = make_trace("mix", 50, seed=1)
+    config = MTCConfig(size_bytes=1024, block_bytes=32)
+    with pytest.raises(ConfigurationError):
+        MinimalTrafficCache(config).simulate(trace, engine="vector")
+    # ...but auto quietly falls back to the scalar loop.
+    scalar = MinimalTrafficCache(config).simulate(trace, engine="scalar")
+    auto = MinimalTrafficCache(config).simulate(trace, engine="auto")
+    assert stats_key(scalar) == stats_key(auto)
+
+
+# --------------------------------------------------------------------------
+# One-pass multi-size families
+# --------------------------------------------------------------------------
+
+
+SIZES = [256, 512, 1024, 4096, 65536]
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=traces())
+def test_direct_mapped_family_matches_per_size(trace):
+    family = engines.direct_mapped_family(trace, SIZES, block_bytes=32)
+    for size in SIZES:
+        config = CacheConfig(size_bytes=size, block_bytes=32)
+        scalar = Cache(config).simulate(trace, engine="scalar")
+        assert stats_key(family[size]) == stats_key(scalar), size
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=traces())
+def test_fully_associative_family_matches_per_size(trace):
+    family = engines.fully_associative_lru_family(trace, SIZES, block_bytes=32)
+    for size in SIZES:
+        config = CacheConfig(
+            size_bytes=size, block_bytes=32, associativity=size // 32
+        )
+        scalar = Cache(config).simulate(trace, engine="scalar")
+        assert stats_key(family[size]) == stats_key(scalar), size
+
+
+# --------------------------------------------------------------------------
+# Engine selection
+# --------------------------------------------------------------------------
+
+
+def test_engine_selection_roundtrip():
+    assert engines.current_engine() in engines.ENGINE_CHOICES
+    before = engines.current_engine()
+    with engines.use_engine("scalar"):
+        assert engines.current_engine() == "scalar"
+        assert engines.resolve_engine() == "scalar"
+        assert engines.resolve_engine("vector") == "vector"
+        with engines.use_engine(None):
+            assert engines.current_engine() == "scalar"
+    assert engines.current_engine() == before
+
+
+def test_engine_selection_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        engines.set_engine("simd")
+    with pytest.raises(ConfigurationError):
+        engines.resolve_engine("fast")
+
+
+def test_vector_engine_refuses_listeners():
+    trace = make_trace("mix", 100, seed=2)
+    config = CacheConfig(size_bytes=1024, block_bytes=32, associativity=2)
+    events = []
+    cache = Cache(config, listener=lambda *args: events.append(args))
+    with pytest.raises(ConfigurationError):
+        cache.simulate(trace, engine="vector")
+
+
+def test_scalar_selection_disables_dm_fast_path():
+    """'scalar' must be the honest per-access loop even for DM caches."""
+    trace = make_trace("seq", 500, seed=3)
+    config = CacheConfig(size_bytes=1024, block_bytes=32)
+    scalar = Cache(config).simulate(trace, engine="scalar")
+    auto = Cache(config).simulate(trace, engine="auto")
+    assert stats_key(scalar) == stats_key(auto)
+
+
+def test_cli_engine_choices_stay_in_sync():
+    from repro import cli
+
+    assert tuple(cli.ENGINE_CHOICES) == tuple(engines.ENGINE_CHOICES)
+
+
+# --------------------------------------------------------------------------
+# Chunked simulation (satellite: merge vs boundary flushes)
+# --------------------------------------------------------------------------
+
+
+def test_simulate_chunked_equals_whole_trace():
+    whole = make_trace("mix", 2000, seed=7)
+    chunks = [whole[:611], whole[611:1400], whole[1400:]]
+    config = CacheConfig(size_bytes=512, block_bytes=32)
+    expected = Cache(config).simulate(whole, engine="scalar")
+    chunked = Cache(config).simulate_chunked(chunks)
+    assert stats_key(expected) == stats_key(chunked)
+
+
+def test_merge_of_chunk_runs_is_not_chunked_simulation():
+    """Simulating chunks independently and merging double-counts the
+    end-of-chunk dirty flushes (each run flushes its own dirty lines);
+    simulate_chunked carries state across the boundary instead."""
+    addrs = np.arange(64, dtype=np.int64) * 4
+    writes = np.ones(64, dtype=bool)
+    first = MemTrace(addrs, writes)
+    second = MemTrace(addrs, writes)
+    whole = MemTrace.concatenate([first, second])
+    config = CacheConfig(size_bytes=256, block_bytes=32)
+
+    a = Cache(config).simulate(first, engine="scalar")
+    b = Cache(config).simulate(second, engine="scalar")
+    merged = a.merge(b)
+    chunked = Cache(config).simulate_chunked([first, second])
+    expected = Cache(config).simulate(whole, engine="scalar")
+
+    assert stats_key(chunked) == stats_key(expected)
+    assert merged.flush_writeback_bytes > expected.flush_writeback_bytes
+
+
+def test_simulate_chunked_requires_fresh_cache():
+    trace = make_trace("mix", 100, seed=9)
+    config = CacheConfig(size_bytes=256, block_bytes=32)
+    cache = Cache(config)
+    cache.simulate(trace)
+    with pytest.raises(SimulationError):
+        cache.simulate_chunked([trace])
