@@ -42,12 +42,18 @@ def pytest_configure(config):
     use_cache = config.getoption("--exec-cache")
     if jobs == 1 and not use_cache:
         return
+    import pytest
+
+    from repro.errors import ConfigurationError
     from repro.exec import configure_exec, default_cache_dir
 
-    configure_exec(
-        jobs=jobs,
-        cache_dir=default_cache_dir() if use_cache else None,
-    )
+    try:
+        configure_exec(
+            jobs=jobs,
+            cache_dir=default_cache_dir() if use_cache else None,
+        )
+    except ConfigurationError as exc:
+        raise pytest.UsageError(str(exc)) from exc
 
 
 def pytest_unconfigure(config):

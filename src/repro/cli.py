@@ -33,16 +33,26 @@ The ``experiment`` command additionally takes the execution-layer flags
 (result caching is on by default, rooted at ``.repro-cache/``);
 ``profile`` takes ``--jobs N`` and reports per-worker utilization, but
 never uses the result cache — a profile must measure real work.
+
+Fault tolerance (see docs/robustness.md): ``experiment`` and ``profile``
+take ``--retries N`` (per-task attempt budget), ``--task-timeout S``
+(per-attempt wall clock on the pool path), and ``--inject-fault SPEC``
+(the fault-injection harness; also honours ``$REPRO_FAULTS``). An
+interrupted ``experiment`` run (Ctrl-C) flushes completed results to the
+cache and exits 130 with a resume hint — re-running the same command
+resumes from where it died.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
+import tempfile
 from collections.abc import Sequence
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, RunInterrupted
 from repro.util import format_size, parse_size
 
 #: Experiment name -> module path (all expose run()/render()).
@@ -73,12 +83,13 @@ ENGINE_CHOICES = ("auto", "scalar", "vector")
 
 
 def positive_int(text: str) -> int:
-    """argparse type for ``--max-refs``: a strictly positive integer.
+    """argparse type for ``--max-refs``/``--jobs``/``--retries``.
 
-    Zero would silently simulate nothing and negative values would be
-    passed to numpy slicing with surprising semantics, so both are
-    rejected up front (backed by the library's ConfigurationError so the
-    message matches every other configuration failure).
+    Zero would silently simulate nothing (or spawn no workers) and
+    negative values would be passed to numpy slicing with surprising
+    semantics, so both are rejected up front (backed by the library's
+    ConfigurationError so the message matches every other configuration
+    failure).
     """
     try:
         value = int(text)
@@ -89,10 +100,25 @@ def positive_int(text: str) -> int:
     try:
         if value <= 0:
             raise ConfigurationError(
-                f"must be a positive reference count, got {value}"
+                f"must be a positive integer, got {value}"
             )
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
+def positive_float(text: str) -> float:
+    """argparse type for ``--task-timeout``: a strictly positive number."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {text!r}"
+        ) from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {value:g}"
+        )
     return value
 
 
@@ -133,11 +159,37 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    # Fault-tolerance knobs shared by the sweep-running commands.
+    resilience_flags = argparse.ArgumentParser(add_help=False)
+    resilience_flags.add_argument(
+        "--retries",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="per-task attempt budget before escalation/failure (default: 3)",
+    )
+    resilience_flags.add_argument(
+        "--task-timeout",
+        type=positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget on the pool path (default: none)",
+    )
+    resilience_flags.add_argument(
+        "--inject-fault",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault-injection spec, e.g. 'worker.kill@Swm;cache.corrupt*2' "
+            "(also honours $REPRO_FAULTS; see docs/robustness.md)"
+        ),
+    )
+
     sub.add_parser("list", help="list experiments and workloads")
 
     experiment = sub.add_parser(
         "experiment",
-        parents=[obs_flags, engine_flags],
+        parents=[obs_flags, engine_flags, resilience_flags],
         help="regenerate a table/figure",
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
@@ -202,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser(
         "profile",
-        parents=[obs_flags, engine_flags],
+        parents=[obs_flags, engine_flags, resilience_flags],
         help="profile one experiment run (stages, throughput, counters)",
     )
     profile.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
@@ -255,8 +307,22 @@ def _cmd_list(out) -> None:
         )
 
 
+def _retry_policy(args):
+    """The RetryPolicy for --retries/--task-timeout, or None for defaults."""
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "task_timeout", None)
+    if retries is None and timeout is None:
+        return None
+    from repro.exec import RetryPolicy
+
+    return RetryPolicy(
+        attempts=retries if retries is not None else 3, timeout=timeout
+    )
+
+
 def _cmd_experiment(args, out) -> None:
-    from repro.exec import EXEC, default_cache_dir, execution
+    from repro.exec import EXEC, clear_checkpoint, default_cache_dir, execution
+    from repro.exec.resilience import read_checkpoint
 
     module = importlib.import_module(EXPERIMENT_MODULES[args.name])
     kwargs = {}
@@ -265,18 +331,35 @@ def _cmd_experiment(args, out) -> None:
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or default_cache_dir()
-    with execution(jobs=args.jobs, cache_dir=cache_dir):
+    with execution(
+        jobs=args.jobs, cache_dir=cache_dir, retry=_retry_policy(args)
+    ):
+        if EXEC.cache is not None:
+            marker = read_checkpoint(EXEC.cache)
+            if marker is not None:
+                print(
+                    f"resuming: a previous run was interrupted after "
+                    f"{marker.get('completed', '?')}/{marker.get('total', '?')} "
+                    f"tasks; reusing its checkpointed results",
+                    file=sys.stderr,
+                )
         try:
             result = module.run(**kwargs)
         except TypeError:
             # Some experiments (figure1/figure2/table2) take no max_refs.
             result = module.run()
         if EXEC.cache is not None:
+            corrupt = (
+                f", {EXEC.cache.corrupt} quarantined"
+                if EXEC.cache.corrupt
+                else ""
+            )
             print(
-                f"cache: {EXEC.cache.hits} hits, {EXEC.cache.misses} misses "
-                f"({EXEC.cache.root})",
+                f"cache: {EXEC.cache.hits} hits, {EXEC.cache.misses} misses"
+                f"{corrupt} ({EXEC.cache.root})",
                 file=sys.stderr,
             )
+            clear_checkpoint(EXEC.cache)
     print(module.render(result), file=out)
 
 
@@ -417,19 +500,51 @@ def _engine_context(args):
     return use_engine(engine)
 
 
+def _configure_fault_injection(args) -> bool:
+    """Arm the fault harness when ``--inject-fault``/``$REPRO_FAULTS`` ask.
+
+    Budgets are scoped to a throwaway token directory so a ``*1`` spec
+    fires exactly once across the parent and every forked worker.
+    Returns True when a plan was armed (the caller must disarm it).
+    """
+    spec = getattr(args, "inject_fault", None) or os.environ.get(
+        "REPRO_FAULTS"
+    )
+    if not spec:
+        return False
+    from repro.exec.faults import configure_faults
+
+    scope = tempfile.mkdtemp(prefix="repro-faults-")
+    configure_faults(spec, scope_dir=scope)
+    print(f"fault injection armed: {spec}", file=sys.stderr)
+    return True
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
     observing = False
+    injecting = False
     try:
         observing = _configure_observability(args)
+        injecting = _configure_fault_injection(args)
         with _engine_context(args):
             return _dispatch(args, out)
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if injecting:
+            from repro.exec.faults import configure_faults
+
+            configure_faults(None)
         if observing:
             from repro import obs
 

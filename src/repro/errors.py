@@ -35,3 +35,69 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload was requested with unusable parameters."""
+
+
+class TaskError(ReproError):
+    """A task failed on every attempt the retry policy allowed.
+
+    Raised by the execution layer (:func:`repro.exec.run_tasks`) after the
+    per-task retry budget — pool attempts plus the serial escalation — is
+    exhausted. ``label`` names the task and ``attempts`` counts how many
+    times it was tried; the final underlying exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, label: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.label = label
+        self.attempts = attempts
+
+
+class TaskTimeout(TaskError):
+    """A task exceeded its per-attempt wall-clock budget on every attempt.
+
+    Unlike other :class:`TaskError` failures, a repeatedly-timing-out task
+    is *not* escalated to the serial path: a task presumed hung would hang
+    the parent process too.
+    """
+
+
+class WorkerCrash(TaskError):
+    """A pool worker died (OOM kill, segfault, injected ``worker.kill``).
+
+    The runner rebuilds the pool and re-runs only the lost tasks; this
+    error surfaces only when crashes persist past the retry budget *and*
+    the serial escalation also fails.
+    """
+
+
+class CacheCorruption(ReproError):
+    """An on-disk result-cache entry failed validation.
+
+    Detected by :meth:`repro.exec.ResultCache.get` (unparsable JSON, a
+    schema mismatch, or a mangled key); the entry is quarantined under
+    ``<cache root>/quarantine/`` and the lookup degrades to a miss, so
+    corruption can cost recomputation but never a wrong answer.
+    """
+
+
+class FaultInjected(ReproError):
+    """An error raised on purpose by the fault-injection harness.
+
+    See :mod:`repro.exec.faults`. Always retryable — the harness exists to
+    exercise the recovery paths.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A task run was interrupted (SIGINT or an injected interrupt).
+
+    Completed results were already flushed to the result cache when one is
+    configured; ``completed``/``total`` say how far the run got, and the
+    message carries the resume hint.
+    """
+
+    def __init__(self, message: str, *, completed: int = 0, total: int = 0):
+        super().__init__(message)
+        self.completed = completed
+        self.total = total

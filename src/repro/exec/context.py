@@ -16,6 +16,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import ConfigurationError
+from repro.exec.resilience import DEFAULT_RETRY, RetryPolicy
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -35,22 +36,31 @@ def default_cache_dir() -> str:
 
 
 class ExecContext:
-    """How grid/experiment work is executed: ``jobs`` workers + a cache.
+    """How grid/experiment work is executed: workers, cache, retry policy.
 
     ``jobs == 1`` means in-process serial execution; ``cache is None``
     means every cell is recomputed. Both defaults preserve the pre-layer
-    behaviour exactly.
+    behaviour exactly. *retry* (a
+    :class:`~repro.exec.resilience.RetryPolicy`) governs per-task
+    retries, backoff, and timeouts; its default only changes behaviour
+    when a task *fails*, so healthy runs are untouched.
     """
 
-    __slots__ = ("jobs", "cache")
+    __slots__ = ("jobs", "cache", "retry")
 
-    def __init__(self, jobs: int = 1, cache=None) -> None:
+    def __init__(
+        self, jobs: int = 1, cache=None, retry: RetryPolicy = DEFAULT_RETRY
+    ) -> None:
         self.jobs = jobs
         self.cache = cache
+        self.retry = retry
 
     def __repr__(self) -> str:
         cache = getattr(self.cache, "root", None)
-        return f"<ExecContext jobs={self.jobs} cache={cache}>"
+        return (
+            f"<ExecContext jobs={self.jobs} cache={cache} "
+            f"retry={self.retry.attempts}x>"
+        )
 
 
 #: The process-wide context consulted by sweep/experiment runners.
@@ -66,27 +76,35 @@ def _validated_jobs(jobs: int) -> int:
 
 
 def configure_exec(
-    *, jobs: int = 1, cache_dir: str | os.PathLike | None = None
+    *,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ExecContext:
     """Set the process-wide execution context.
 
     *cache_dir* of ``None`` disables the result cache; pass
-    :func:`default_cache_dir` (or any path) to enable it.
+    :func:`default_cache_dir` (or any path) to enable it. *retry* of
+    ``None`` keeps the default policy (bounded retries, no timeout).
     """
     from repro.exec.cache import ResultCache
 
     EXEC.jobs = _validated_jobs(jobs)
     EXEC.cache = ResultCache(cache_dir) if cache_dir is not None else None
+    EXEC.retry = retry if retry is not None else DEFAULT_RETRY
     return EXEC
 
 
 @contextmanager
 def execution(
-    *, jobs: int = 1, cache_dir: str | os.PathLike | None = None
+    *,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Iterator[ExecContext]:
     """Temporarily reconfigure :data:`EXEC`, restoring the prior state."""
-    prev_jobs, prev_cache = EXEC.jobs, EXEC.cache
+    prev = (EXEC.jobs, EXEC.cache, EXEC.retry)
     try:
-        yield configure_exec(jobs=jobs, cache_dir=cache_dir)
+        yield configure_exec(jobs=jobs, cache_dir=cache_dir, retry=retry)
     finally:
-        EXEC.jobs, EXEC.cache = prev_jobs, prev_cache
+        EXEC.jobs, EXEC.cache, EXEC.retry = prev

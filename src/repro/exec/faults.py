@@ -1,0 +1,280 @@
+"""Fault-injection harness: exercise every recovery path on demand.
+
+A fault *plan* is a set of specs, each naming a fault point in the
+execution stack, an optional label match, a firing budget, and an
+optional numeric parameter. The spec string syntax (used by the CLI's
+``--inject-fault`` flag and the ``REPRO_FAULTS`` environment variable)
+is ``point[@match][*times][=param]``, with multiple specs joined by
+``;``::
+
+    worker.kill@table7:Swm      # kill the worker running the Swm row
+    task.raise@Swm*2            # raise FaultInjected twice
+    task.delay@Swm=0.5          # sleep 0.5s before the task
+    cache.corrupt*3             # garbage the next three stored entries
+    task.interrupt@table8       # simulate Ctrl-C before a table8 task
+
+Fault points
+------------
+``task.raise``
+    Raise :class:`~repro.errors.FaultInjected` in place of running a
+    matching task (fires wherever the task runs: worker or parent).
+``task.delay``
+    Sleep ``param`` seconds before running a matching task.
+``worker.kill``
+    ``os._exit`` the pool worker about to run a matching task — a hard
+    crash, surfacing as ``BrokenProcessPool`` in the parent. Inert
+    outside pool workers, so serial escalation always survives it.
+``task.interrupt``
+    Raise ``KeyboardInterrupt`` in the parent before dispatching a
+    matching task — a deterministic stand-in for SIGINT.
+``cache.corrupt`` / ``cache.truncate``
+    Damage a just-stored result-cache entry (garbage / half the payload).
+    The match is tested against the entry's canonical key text, so
+    ``cache.corrupt@Swm`` hits only that workload's rows.
+``sim.chunk``
+    Raise :class:`~repro.errors.FaultInjected` at a chunk boundary in
+    :meth:`Cache.simulate_chunked`; the label is ``<trace name>:<chunk
+    index>``.
+
+Firing budgets and scope
+------------------------
+Each spec fires at most ``times`` times (default 1). Budgets are counted
+per process by default — a forked worker inherits the parent's unspent
+specs. When the plan is configured with a *scope directory* (the CLI
+always does this), budgets are instead claimed as ``O_EXCL`` token files
+in that directory, shared across the parent and every worker: a
+``*1`` spec then fires exactly once per run no matter which process
+reaches it first, which is what makes "fail once, then recover" tests
+deterministic under a process pool.
+
+The module-global :data:`FAULTS` mirrors the :data:`repro.obs.OBS` /
+:data:`repro.exec.EXEC` pattern: hot paths guard with ``if
+FAULTS.active:`` so a build with no faults configured pays one attribute
+load and a branch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError, FaultInjected
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultSpec",
+    "FaultPlan",
+    "FAULTS",
+    "parse_fault_spec",
+    "configure_faults",
+    "injected_faults",
+]
+
+#: Every hook the execution stack exposes; specs naming anything else are
+#: rejected at parse time.
+FAULT_POINTS = (
+    "task.raise",
+    "task.delay",
+    "worker.kill",
+    "task.interrupt",
+    "cache.corrupt",
+    "cache.truncate",
+    "sim.chunk",
+)
+
+
+@dataclass(slots=True)
+class FaultSpec:
+    """One parsed fault: where it fires, on what, how often, with what."""
+
+    point: str
+    match: str = ""
+    times: int = 1
+    param: float = 0.0
+    #: Per-process firings left (ignored when the plan is scope-backed).
+    remaining: int = 1
+
+    def describe(self) -> str:
+        text = self.point
+        if self.match:
+            text += f"@{self.match}"
+        if self.times != 1:
+            text += f"*{self.times}"
+        if self.param:
+            text += f"={self.param:g}"
+        return text
+
+
+def _parse_one(text: str) -> FaultSpec:
+    body = text.strip()
+    param = 0.0
+    if "=" in body:
+        body, param_text = body.rsplit("=", 1)
+        try:
+            param = float(param_text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"fault spec {text!r}: parameter {param_text!r} is not a number"
+            ) from exc
+        if param < 0:
+            raise ConfigurationError(
+                f"fault spec {text!r}: parameter must be >= 0"
+            )
+    times = 1
+    if "*" in body:
+        body, times_text = body.rsplit("*", 1)
+        try:
+            times = int(times_text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"fault spec {text!r}: count {times_text!r} is not an integer"
+            ) from exc
+        if times < 1:
+            raise ConfigurationError(
+                f"fault spec {text!r}: count must be >= 1"
+            )
+    match = ""
+    if "@" in body:
+        body, match = body.split("@", 1)
+    point = body.strip()
+    if point not in FAULT_POINTS:
+        raise ConfigurationError(
+            f"fault spec {text!r}: unknown fault point {point!r}; "
+            f"choose from {', '.join(FAULT_POINTS)}"
+        )
+    return FaultSpec(
+        point=point, match=match, times=times, param=param, remaining=times
+    )
+
+
+def parse_fault_spec(spec: str) -> list[FaultSpec]:
+    """Parse a ``;``-joined spec string into :class:`FaultSpec` items."""
+    specs = [_parse_one(part) for part in spec.split(";") if part.strip()]
+    if not specs:
+        raise ConfigurationError(f"fault spec {spec!r} names no faults")
+    return specs
+
+
+class FaultPlan:
+    """The active set of fault specs, with firing-budget bookkeeping."""
+
+    __slots__ = ("specs", "active", "parent_pid", "scope_dir")
+
+    def __init__(self) -> None:
+        self.specs: list[FaultSpec] = []
+        self.active = False
+        self.parent_pid = os.getpid()
+        self.scope_dir: str | None = None
+
+    def load(
+        self, specs: list[FaultSpec], *, scope_dir: str | os.PathLike | None = None
+    ) -> None:
+        self.specs = specs
+        self.active = bool(specs)
+        self.parent_pid = os.getpid()
+        self.scope_dir = os.fspath(scope_dir) if scope_dir is not None else None
+
+    def reset(self) -> None:
+        self.load([])
+
+    # -- firing ---------------------------------------------------------------
+
+    def _claim(self, spec_id: int, spec: FaultSpec) -> bool:
+        """Spend one firing of *spec*, honouring the budget scope."""
+        if self.scope_dir is None:
+            if spec.remaining <= 0:
+                return False
+            spec.remaining -= 1
+            return True
+        # Cross-process budget: one O_EXCL token file per allowed firing.
+        os.makedirs(self.scope_dir, exist_ok=True)
+        for slot in range(spec.times):
+            token = os.path.join(self.scope_dir, f"fault-{spec_id}-{slot}")
+            try:
+                os.close(os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue
+            return True
+        return False
+
+    def take(self, point: str, label: str = "") -> FaultSpec | None:
+        """Claim a firing of *point* for *label*, or None when none match.
+
+        Callers that enact the fault themselves (the cache's corruption
+        points) use this directly; everything else goes through
+        :meth:`fire`.
+        """
+        if not self.active:
+            return None
+        for spec_id, spec in enumerate(self.specs):
+            if spec.point != point or spec.match not in label:
+                continue
+            if self._claim(spec_id, spec):
+                return spec
+        return None
+
+    def fire(self, point: str, label: str = "") -> bool:
+        """Claim and *enact* a firing of *point*; True if one fired."""
+        if not self.active:
+            return False
+        if point == "worker.kill" and os.getpid() == self.parent_pid:
+            # Never kill the parent: serial escalation must survive the
+            # fault that broke the pool. The budget is left unspent.
+            return False
+        spec = self.take(point, label)
+        if spec is None:
+            return False
+        if point in ("task.raise", "sim.chunk"):
+            raise FaultInjected(
+                f"injected fault {spec.describe()} fired at {label!r}"
+            )
+        if point == "task.delay":
+            time.sleep(spec.param)
+        elif point == "worker.kill":
+            os._exit(17)
+        elif point == "task.interrupt":
+            raise KeyboardInterrupt(
+                f"injected fault {spec.describe()} fired at {label!r}"
+            )
+        return True
+
+    def __repr__(self) -> str:
+        if not self.active:
+            return "<FaultPlan inactive>"
+        return "<FaultPlan " + "; ".join(s.describe() for s in self.specs) + ">"
+
+
+#: The process-wide plan; forked pool workers inherit it.
+FAULTS = FaultPlan()
+
+
+def configure_faults(
+    spec: str | None, *, scope_dir: str | os.PathLike | None = None
+) -> FaultPlan:
+    """(Re)load :data:`FAULTS` from a spec string; ``None`` deactivates."""
+    if spec is None:
+        FAULTS.reset()
+    else:
+        FAULTS.load(parse_fault_spec(spec), scope_dir=scope_dir)
+    return FAULTS
+
+
+@contextmanager
+def injected_faults(
+    spec: str, *, scope_dir: str | os.PathLike | None = None
+) -> Iterator[FaultPlan]:
+    """Activate a fault plan for a block, restoring the prior plan after."""
+    prior = (FAULTS.specs, FAULTS.active, FAULTS.parent_pid, FAULTS.scope_dir)
+    configure_faults(spec, scope_dir=scope_dir)
+    try:
+        yield FAULTS
+    finally:
+        (
+            FAULTS.specs,
+            FAULTS.active,
+            FAULTS.parent_pid,
+            FAULTS.scope_dir,
+        ) = prior

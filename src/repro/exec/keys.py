@@ -19,7 +19,13 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 
-__all__ = ["canonical_key", "stable_hash", "code_epoch", "workload_key"]
+__all__ = [
+    "canonical_key",
+    "try_canonical_key",
+    "stable_hash",
+    "code_epoch",
+    "workload_key",
+]
 
 #: Memoized per-process code fingerprint (the source tree cannot change
 #: under a running simulation).
@@ -41,6 +47,20 @@ def canonical_key(material: object) -> str:
         raise ConfigurationError(
             f"cache key material is not canonical JSON: {exc}"
         ) from exc
+
+
+def try_canonical_key(material: object) -> str | None:
+    """:func:`canonical_key`, or ``None`` for non-canonicalisable material.
+
+    Used when reading *untrusted* key material back from disk — a
+    corrupted cache entry may deserialise to something (``NaN``,
+    ``Infinity``) that canonical JSON rejects, and the reader wants a
+    quarantine decision, not an exception.
+    """
+    try:
+        return canonical_key(material)
+    except ConfigurationError:
+        return None
 
 
 def stable_hash(material: object) -> str:

@@ -1,0 +1,153 @@
+"""Retry policy and checkpoint/resume bookkeeping for the task runner.
+
+Two small pieces, both consumed by :func:`repro.exec.run_tasks`:
+
+* :class:`RetryPolicy` — how many attempts each task gets, the
+  exponential backoff between them (with *deterministic, seeded* jitter:
+  the same task label and attempt number always waits the same time), an
+  optional per-attempt wall-clock timeout for pool execution, and the
+  retryability classification (injected faults and unexpected exceptions
+  retry; deliberate library errors such as ``ConfigurationError`` are
+  deterministic and fail fast).
+
+* The checkpoint marker — a single JSON file at ``<cache
+  root>/INTERRUPTED.json`` recording how far an interrupted run got. The
+  content-addressed result cache *is* the journal (every completed task
+  result is already on disk under its key); the marker only flags that a
+  resume is in progress so the runner can attribute cache hits to
+  ``exec.resume.reused`` and entry points can print a resume banner. It
+  lives at the cache root, outside the two-hex-character shard
+  directories, so it is invisible to entry globs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, FaultInjected, ReproError
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+    "CHECKPOINT_NAME",
+    "write_checkpoint",
+    "read_checkpoint",
+    "clear_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "repro.exec-checkpoint/v1"
+CHECKPOINT_NAME = "INTERRUPTED.json"
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    *attempts* is the per-task budget on the path where the task runs
+    (pool attempts; a task exhausting it is escalated to the serial path
+    with a fresh budget before the run fails). *timeout* bounds one pool
+    attempt's wall clock; ``None`` disables timeouts. The serial path
+    cannot preempt a running task, so timeouts apply to pool execution
+    only.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    timeout: float | None = None
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.attempts, bool)
+            or not isinstance(self.attempts, int)
+            or self.attempts < 1
+        ):
+            raise ConfigurationError(
+                f"retry attempts must be a positive integer, got {self.attempts!r}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"task timeout must be positive, got {self.timeout!r}"
+            )
+
+    def backoff(self, label: str, attempt: int) -> float:
+        """Seconds to wait before retrying *label* after failure *attempt*.
+
+        Exponential in the attempt number, capped at *max_delay*, scaled
+        by jitter in [0.5, 1.0) drawn from a generator seeded with
+        (jitter_seed, label, attempt) — so two runs of the same sweep
+        back off identically, while distinct tasks desynchronise.
+        """
+        raw = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        rng = random.Random(f"{self.jitter_seed}:{label}:{attempt}")
+        return raw * (0.5 + rng.random() / 2)
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Whether a failed attempt should be retried.
+
+        Injected faults always retry (exercising recovery is their whole
+        point). Other deliberate library errors are deterministic — a
+        misconfigured sweep fails identically every time — so they fail
+        fast. Everything else (worker OOM, pickling trouble, genuine
+        bugs) gets the retry budget.
+        """
+        if isinstance(exc, FaultInjected):
+            return True
+        if isinstance(exc, ReproError):
+            return False
+        return isinstance(exc, Exception)
+
+
+#: The policy used when nothing was configured.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def _checkpoint_path(cache) -> str:
+    return os.path.join(os.fspath(cache.root), CHECKPOINT_NAME)
+
+
+def write_checkpoint(cache, *, completed: int, total: int) -> None:
+    """Record an interrupted run under the cache root (best effort)."""
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "completed": completed,
+        "total": total,
+        "time": time.time(),
+    }
+    try:
+        os.makedirs(os.fspath(cache.root), exist_ok=True)
+        with open(_checkpoint_path(cache), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+    except OSError:
+        pass  # a failed marker only costs the resume banner, never data
+
+
+def read_checkpoint(cache) -> dict | None:
+    """The interrupted-run record, or None when the last run completed."""
+    try:
+        with open(_checkpoint_path(cache), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != CHECKPOINT_SCHEMA
+    ):
+        return None
+    return payload
+
+
+def clear_checkpoint(cache) -> None:
+    """Drop the interrupted-run record (a run completed)."""
+    try:
+        os.unlink(_checkpoint_path(cache))
+    except OSError:
+        pass

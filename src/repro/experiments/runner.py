@@ -313,7 +313,7 @@ def evaluate_grid(
                 label=f"{title}:{workload.name}",
             )
         )
-    outcomes = run_tasks(tasks, jobs=EXEC.jobs, cache=cache)
+    outcomes = run_tasks(tasks, jobs=EXEC.jobs, cache=cache, retry=EXEC.retry)
 
     observed = OBS.enabled
     rows: list[list[object | None]] = []

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.exec.faults import FAULTS
 from repro.mem.policies import ReplacementPolicy, make_policy
 from repro.obs import OBS
 from repro.trace.model import MemTrace, WORD_BYTES
@@ -454,7 +455,11 @@ class Cache:
         return self.stats
 
     def simulate_chunked(
-        self, chunks: list[MemTrace], *, flush: bool = True
+        self,
+        chunks: list[MemTrace],
+        *,
+        flush: bool = True,
+        resume: bool = False,
     ) -> CacheStats:
         """Simulate one logical trace delivered as consecutive chunks.
 
@@ -464,20 +469,29 @@ class Cache:
         property that naive per-chunk ``simulate()`` + ``merge()`` breaks
         by flushing at every boundary. Oracle policies see the full
         future across all chunks.
+
+        With ``resume=True`` the cache may carry history from an earlier
+        (interrupted) ``simulate_chunked`` call on the *same* instance:
+        the fresh-state check is skipped and oracle policies are not
+        re-prepared (the original call already saw the full future).
+        Feed only the not-yet-simulated chunks; the final stats equal an
+        uninterrupted run over the full chunk list.
         """
-        if self.stats.accesses:
+        if not resume and self.stats.accesses:
             raise SimulationError(
                 "simulate_chunked() requires a fresh cache; this one has history"
             )
         chunks = list(chunks)
-        if self._policy.needs_future:
+        if self._policy.needs_future and not resume:
             if chunks:
                 future = np.concatenate([c.addresses for c in chunks])
             else:
                 future = np.empty(0, dtype=np.int64)
             self._policy.prepare(future // self.config.block_bytes)
         access = self.access
-        for chunk in chunks:
+        for position, chunk in enumerate(chunks):
+            if FAULTS.active:
+                FAULTS.fire("sim.chunk", f"{chunk.name}:{position}")
             for address, write in zip(
                 chunk.addresses.tolist(), chunk.is_write.tolist()
             ):

@@ -10,6 +10,7 @@ format lets experiments cache generated traces on disk.
 from __future__ import annotations
 
 import io
+import zipfile
 from pathlib import Path
 from collections.abc import Iterable, Sequence
 
@@ -68,7 +69,13 @@ def write_trace(trace: MemTrace, path: str | Path) -> None:
 
 
 def read_trace(path: str | Path) -> MemTrace:
-    """Read a trace previously written by :func:`write_trace`."""
+    """Read a trace previously written by :func:`write_trace`.
+
+    Raises :class:`TraceError` naming the file for anything unreadable:
+    a missing path, a truncated or garbage archive (``.npz`` files are
+    zip containers, so damage surfaces as :class:`zipfile.BadZipFile`
+    or ``EOFError``), or an archive missing the expected arrays.
+    """
     source = Path(path)
     if not source.exists():
         raise TraceError(f"trace file not found: {source}")
@@ -77,7 +84,7 @@ def read_trace(path: str | Path) -> MemTrace:
             return MemTrace(
                 data["addresses"], data["is_write"], name=str(data["name"])
             )
-    except (KeyError, ValueError, OSError) as exc:
+    except (KeyError, ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
         raise TraceError(f"malformed trace file {source}: {exc}") from exc
 
 

@@ -61,7 +61,7 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(argv)
         assert excinfo.value.code == 2
-        assert "positive reference count" in capsys.readouterr().err
+        assert "positive integer" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -190,3 +190,114 @@ class TestProfileCommand:
         ]
         assert any(e["kind"] == "stage.begin" for e in events)
         assert profile_path.exists()
+
+
+class TestResilienceFlags:
+    def test_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "experiment", "table7",
+                "--retries", "5",
+                "--task-timeout", "2.5",
+                "--inject-fault", "worker.kill@Swm",
+            ]
+        )
+        assert args.retries == 5
+        assert args.task_timeout == 2.5
+        assert args.inject_fault == "worker.kill@Swm"
+
+    def test_profile_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "table2", "--retries", "2"]
+        )
+        assert args.retries == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiment", "table7", "--jobs", "0"],
+            ["experiment", "table7", "--jobs", "-2"],
+            ["experiment", "table7", "--jobs", "many"],
+            ["experiment", "table7", "--retries", "0"],
+            ["experiment", "table7", "--task-timeout", "0"],
+            ["experiment", "table7", "--task-timeout", "soon"],
+        ],
+    )
+    def test_bad_resilience_values_rejected_at_parse(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        err = capsys.readouterr().err
+        assert "positive" in err or "expected a" in err
+
+    def test_bad_fault_spec_is_a_clean_error(self, capsys):
+        out = io.StringIO()
+        code = main(
+            ["experiment", "figure1", "--inject-fault", "task.explode"],
+            out=out,
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown fault point" in err
+
+    def test_injected_interrupt_exits_130_and_resumes(self, tmp_path, capsys):
+        clean = run_cli(
+            "experiment", "table7", "--max-refs", "2000", "--no-cache"
+        )
+        capsys.readouterr()
+        cache_dir = str(tmp_path / "cc")
+        out = io.StringIO()
+        code = main(
+            [
+                "experiment", "table7", "--max-refs", "2000",
+                "--cache-dir", cache_dir,
+                "--inject-fault", "task.interrupt@Swm",
+            ],
+            out=out,
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert (tmp_path / "cc" / "INTERRUPTED.json").exists()
+
+        resumed = run_cli(
+            "experiment", "table7", "--max-refs", "2000",
+            "--cache-dir", cache_dir,
+        )
+        err = capsys.readouterr().err
+        assert "resuming" in err
+        assert resumed == clean
+        assert not (tmp_path / "cc" / "INTERRUPTED.json").exists()
+
+    def test_faults_disarmed_after_command(self, tmp_path, capsys):
+        from repro.exec.faults import FAULTS
+
+        main(
+            [
+                "experiment", "figure1",
+                "--inject-fault", "task.raise@nothing-matches",
+            ],
+            out=io.StringIO(),
+        )
+        capsys.readouterr()
+        assert not FAULTS.active
+
+    def test_quarantine_surfaces_in_cache_stats(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cc")
+        run_cli(
+            "experiment", "table7", "--max-refs", "2000",
+            "--cache-dir", cache_dir,
+            "--inject-fault", "cache.corrupt",
+        )
+        capsys.readouterr()
+        warm = run_cli(
+            "experiment", "table7", "--max-refs", "2000",
+            "--cache-dir", cache_dir,
+        )
+        err = capsys.readouterr().err
+        assert "1 quarantined" in err
+        clean = run_cli(
+            "experiment", "table7", "--max-refs", "2000", "--no-cache"
+        )
+        assert warm == clean
+        text = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        assert "1 quarantined" in text

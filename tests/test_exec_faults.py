@@ -1,0 +1,223 @@
+"""Tests for the fault-injection harness: spec language, budgets, points.
+
+The harness exists so every recovery path in the execution layer can be
+exercised deterministically; these tests pin the spec mini-language, the
+per-process and cross-process (scope-directory) firing budgets, and the
+behaviour of each fault point in isolation. End-to-end recovery is
+covered in test_exec_resilience.py.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, FaultInjected
+from repro.exec import MISS, QUARANTINE_DIR, ResultCache
+from repro.exec.faults import (
+    FAULT_POINTS,
+    FAULTS,
+    FaultPlan,
+    configure_faults,
+    injected_faults,
+    parse_fault_spec,
+)
+
+
+class TestSpecParsing:
+    def test_bare_point(self):
+        (spec,) = parse_fault_spec("task.raise")
+        assert spec.point == "task.raise"
+        assert spec.match == ""
+        assert spec.times == 1
+        assert spec.param == 0.0
+
+    def test_full_syntax(self):
+        (spec,) = parse_fault_spec("task.delay@Swm*3=0.25")
+        assert spec.point == "task.delay"
+        assert spec.match == "Swm"
+        assert spec.times == 3
+        assert spec.param == 0.25
+
+    def test_multiple_specs_joined_with_semicolons(self):
+        specs = parse_fault_spec("worker.kill@a; cache.corrupt*2")
+        assert [s.point for s in specs] == ["worker.kill", "cache.corrupt"]
+        assert specs[1].times == 2
+
+    def test_describe_round_trips(self):
+        for text in ("task.raise", "worker.kill@Swm", "task.delay@x*2=0.5"):
+            (spec,) = parse_fault_spec(text)
+            assert parse_fault_spec(spec.describe())[0] == spec
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault point"):
+            parse_fault_spec("task.explode")
+
+    def test_every_known_point_parses(self):
+        for point in FAULT_POINTS:
+            assert parse_fault_spec(point)[0].point == point
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a number"):
+            parse_fault_spec("task.delay=soon")
+
+    def test_negative_param_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            parse_fault_spec("task.delay=-1")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="not an integer"):
+            parse_fault_spec("task.raise*many")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            parse_fault_spec("task.raise*0")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="names no faults"):
+            parse_fault_spec(" ; ")
+
+
+class TestBudgets:
+    def test_per_process_budget_exhausts(self):
+        plan = FaultPlan()
+        plan.load(parse_fault_spec("task.raise*2"))
+        assert plan.take("task.raise") is not None
+        assert plan.take("task.raise") is not None
+        assert plan.take("task.raise") is None
+
+    def test_label_match_is_substring(self):
+        plan = FaultPlan()
+        plan.load(parse_fault_spec("task.raise@Swm"))
+        assert plan.take("task.raise", "table7:Compress") is None
+        assert plan.take("task.raise", "table7:Swm") is not None
+
+    def test_scope_dir_budget_is_shared_across_plans(self, tmp_path):
+        scope = tmp_path / "scope"
+        first, second = FaultPlan(), FaultPlan()
+        first.load(parse_fault_spec("task.raise*2"), scope_dir=scope)
+        second.load(parse_fault_spec("task.raise*2"), scope_dir=scope)
+        # Two plans model the parent and a forked worker: the *2 budget
+        # is claimed via O_EXCL tokens, so only two firings total happen
+        # no matter which plan asks.
+        claims = [
+            plan.take("task.raise") is not None
+            for plan in (first, second, first, second)
+        ]
+        assert claims == [True, True, False, False]
+        assert len(os.listdir(scope)) == 2
+
+    def test_inactive_plan_never_fires(self):
+        plan = FaultPlan()
+        assert plan.take("task.raise") is None
+        assert plan.fire("task.raise") is False
+
+
+class TestFirePoints:
+    def test_task_raise_raises_fault_injected(self):
+        with injected_faults("task.raise@boom"):
+            with pytest.raises(FaultInjected, match="boom"):
+                FAULTS.fire("task.raise", "kaboom")
+
+    def test_sim_chunk_raises_fault_injected(self):
+        with injected_faults("sim.chunk"):
+            with pytest.raises(FaultInjected):
+                FAULTS.fire("sim.chunk", "trace:1")
+
+    def test_task_interrupt_raises_keyboard_interrupt(self):
+        with injected_faults("task.interrupt"):
+            with pytest.raises(KeyboardInterrupt):
+                FAULTS.fire("task.interrupt", "any")
+
+    def test_task_delay_sleeps_and_reports_fired(self):
+        with injected_faults("task.delay=0"):
+            assert FAULTS.fire("task.delay", "any") is True
+            assert FAULTS.fire("task.delay", "any") is False
+
+    def test_worker_kill_is_inert_in_the_parent(self):
+        """The parent must survive worker.kill (serial escalation runs
+        there); the budget is left unspent for an actual worker."""
+        with injected_faults("worker.kill"):
+            assert FAULTS.fire("worker.kill", "any") is False
+            assert FAULTS.specs[0].remaining == 1
+
+    def test_unmatched_label_does_not_fire(self):
+        with injected_faults("task.raise@Swm"):
+            assert FAULTS.fire("task.raise", "Compress") is False
+
+
+class TestConfiguration:
+    def test_configure_none_deactivates(self):
+        configure_faults("task.raise")
+        assert FAULTS.active
+        configure_faults(None)
+        assert not FAULTS.active
+        assert FAULTS.specs == []
+
+    def test_injected_faults_restores_prior_plan(self):
+        configure_faults("task.delay=1")
+        try:
+            with injected_faults("task.raise"):
+                assert FAULTS.specs[0].point == "task.raise"
+            assert FAULTS.specs[0].point == "task.delay"
+        finally:
+            configure_faults(None)
+
+    def test_repr_names_the_specs(self):
+        with injected_faults("task.raise@x*2"):
+            assert "task.raise@x*2" in repr(FAULTS)
+        assert repr(FAULTS) == "<FaultPlan inactive>"
+
+
+class TestCacheFaultPoints:
+    def test_cache_corrupt_quarantines_on_next_read(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = {"kind": "t", "name": "victim"}
+        with injected_faults("cache.corrupt"):
+            cache.put(key, {"value": 1})
+        assert cache.get(key) is MISS
+        assert cache.corrupt == 1
+        quarantined = list((tmp_path / "c" / QUARANTINE_DIR).glob("*.json"))
+        assert len(quarantined) == 1
+        assert cache.stats().quarantined == 1
+        # The quarantined entry no longer trips subsequent lookups.
+        assert cache.get(key) is MISS
+        assert cache.corrupt == 1
+
+    def test_cache_truncate_quarantines_on_next_read(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = {"kind": "t", "name": "victim"}
+        with injected_faults("cache.truncate"):
+            cache.put(key, {"value": list(range(50))})
+        assert cache.get(key) is MISS
+        assert cache.stats().quarantined == 1
+
+    def test_cache_fault_match_targets_one_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        hit_key = {"name": "keepme"}
+        victim_key = {"name": "victim"}
+        with injected_faults("cache.corrupt@victim"):
+            cache.put(hit_key, 1)
+            cache.put(victim_key, 2)
+        assert cache.get(hit_key) == 1
+        assert cache.get(victim_key) is MISS
+
+    def test_quarantined_entries_excluded_from_entry_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with injected_faults("cache.corrupt@bad"):
+            cache.put({"name": "good"}, 1)
+            cache.put({"name": "bad"}, 2)
+        cache.get({"name": "bad"})
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.quarantined == 1
+        assert "1 quarantined" in stats.describe()
+
+    def test_clear_also_removes_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with injected_faults("cache.corrupt"):
+            cache.put({"name": "bad"}, 2)
+        cache.get({"name": "bad"})
+        assert cache.clear() == 1
+        assert cache.stats().quarantined == 0

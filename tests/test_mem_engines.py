@@ -298,3 +298,58 @@ def test_simulate_chunked_requires_fresh_cache():
     cache.simulate(trace)
     with pytest.raises(SimulationError):
         cache.simulate_chunked([trace])
+
+
+def test_simulate_chunked_interrupt_then_resume_byte_identical():
+    """A chunked run killed mid-stream by an injected fault resumes on
+    the same instance and finishes with stats identical to an
+    uninterrupted whole-trace run."""
+    from repro.errors import FaultInjected
+    from repro.exec.faults import injected_faults
+
+    whole = make_trace("mix", 3000, seed=11)
+    chunks = [whole[:800], whole[800:1700], whole[1700:2400], whole[2400:]]
+    config = CacheConfig(size_bytes=512, block_bytes=32)
+    expected = Cache(config).simulate(whole, engine="scalar")
+
+    cache = Cache(config)
+    with injected_faults("sim.chunk@:2"):
+        with pytest.raises(FaultInjected):
+            cache.simulate_chunked(chunks)
+    resumed = cache.simulate_chunked(chunks[2:], resume=True)
+    assert stats_key(resumed) == stats_key(expected)
+
+
+def test_simulate_chunked_resume_preserves_oracle_future():
+    """Resume must not re-prepare oracle policies: MIN was prepared with
+    the full future on the original call, and re-preparing with only the
+    remaining chunks would change its eviction decisions."""
+    from repro.errors import FaultInjected
+    from repro.exec.faults import injected_faults
+
+    whole = make_trace("hot", 2000, seed=3)
+    chunks = [whole[:700], whole[700:1400], whole[1400:]]
+    config = CacheConfig(size_bytes=256, block_bytes=32, replacement="min")
+    expected = Cache(config).simulate(whole)
+
+    cache = Cache(config)
+    with injected_faults("sim.chunk@:1"):
+        with pytest.raises(FaultInjected):
+            cache.simulate_chunked(chunks)
+    resumed = cache.simulate_chunked(chunks[1:], resume=True)
+    assert stats_key(resumed) == stats_key(expected)
+
+
+def test_unknown_engine_names_the_value():
+    with pytest.raises(ConfigurationError, match="unknown engine 'gpu'"):
+        engines.set_engine("gpu")
+    with pytest.raises(ConfigurationError, match="scalar"):
+        # The message also lists the valid choices.
+        engines.resolve_engine("turbo")
+
+
+def test_simulate_with_unknown_engine_is_loud():
+    trace = make_trace("mix", 50, seed=1)
+    cache = Cache(CacheConfig(size_bytes=256, block_bytes=32))
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        cache.simulate(trace, engine="bogus")

@@ -68,6 +68,28 @@ class TestTraceFiles:
         with pytest.raises(TraceError, match="malformed"):
             read_trace(path)
 
+    def test_garbage_file_names_the_path(self, tmp_path):
+        """An .npz that is not a zip archive at all (BadZipFile inside
+        numpy) must surface as a TraceError naming the file."""
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive, not even close")
+        with pytest.raises(TraceError, match="garbage.npz"):
+            read_trace(path)
+
+    def test_truncated_file_names_the_path(self, tmp_path, small_trace):
+        path = tmp_path / "cut.npz"
+        write_trace(small_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError, match="cut.npz"):
+            read_trace(path)
+
+    def test_empty_file_names_the_path(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError, match="empty.npz"):
+            read_trace(path)
+
     def test_creates_parent_directories(self, tmp_path, small_trace):
         path = tmp_path / "deep" / "nested" / "trace.npz"
         write_trace(small_trace, path)
