@@ -1,0 +1,57 @@
+"""Benchmark: the simulation service under closed-loop client load.
+
+Drives ``scripts/load_serve.py``'s fleet against a real in-process
+server — sockets, admission queue, scheduler, coalescer all live — and
+reports end-to-end latency percentiles plus the coalescing hit rate.
+The committed ``BENCH_serve.json`` baseline is regenerated with::
+
+    PYTHONPATH=src python scripts/load_serve.py
+"""
+
+import sys
+import threading
+from pathlib import Path
+
+from conftest import emit, run_once
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "scripts"))
+
+from load_serve import render, run_load  # noqa: E402
+
+CLIENTS = 8
+REQUESTS = 3
+DISTINCT = 4
+
+
+def test_bench_serve_closed_loop(benchmark):
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, SimulationServer
+
+    server = SimulationServer(ServeConfig(port=0, queue_depth=256))
+    thread = threading.Thread(
+        target=server.run, kwargs={"install_signals": False}, daemon=True
+    )
+    thread.start()
+    assert server.ready.wait(10)
+    host, port = server.address
+    try:
+        summary = run_once(
+            benchmark,
+            run_load,
+            lambda: ServeClient(f"http://{host}:{port}", timeout=120.0),
+            clients=CLIENTS,
+            requests=REQUESTS,
+            distinct=DISTINCT,
+            max_refs=20_000,
+        )
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+
+    emit("Simulation service: closed-loop load", render(summary))
+    assert summary["completed"] == CLIENTS * REQUESTS
+    assert summary["latency_s"]["p50"] <= summary["latency_s"]["p99"]
+    # The fleet only ever issues DISTINCT unique requests, so the
+    # coalescer must have absorbed the rest of the submissions.
+    assert summary["coalescing"]["submitted"] <= DISTINCT * REQUESTS + DISTINCT
+    assert summary["coalescing"]["hit_rate"] > 0.0

@@ -1,0 +1,209 @@
+"""Closed-loop load generator for the simulation service.
+
+Run from the repository root (starts its own in-process server on an
+ephemeral port unless ``--server`` points at a running one):
+
+    PYTHONPATH=src python scripts/load_serve.py [--clients N] [--requests N]
+
+Each of ``--clients`` worker threads is a *closed-loop* client: it
+submits one request, waits for the result, then submits the next —
+the standard arrival model for measuring a service under a fixed
+concurrency level, and the polite behaviour the admission queue's
+``Retry-After`` back-off is designed around. Requests are drawn
+round-robin from ``--distinct`` simulate variants (differing seeds), so
+the workload has deliberate duplication and the run measures the request
+coalescer as well as the request path: with C clients and D distinct
+requests, at most D simulations ever run per wave no matter how large C
+is.
+
+The summary (p50/p99 end-to-end latency, throughput, coalescing hit
+rate scraped from ``/metrics``) prints to stdout and is written to
+``BENCH_serve.json`` — the committed baseline tracked by
+``benchmarks/test_bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.registry import percentile
+from repro.serve.client import ServeClient
+
+SCHEMA = "repro.bench-serve/v1"
+
+
+def run_load(
+    client_factory,
+    *,
+    clients: int,
+    requests: int,
+    distinct: int,
+    max_refs: int,
+    timeout: float = 120.0,
+) -> dict:
+    """Drive the closed-loop fleet; returns the measured summary.
+
+    *client_factory* is a zero-argument callable returning a fresh
+    :class:`ServeClient` (one per thread — the client is not shared
+    across threads).
+    """
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[BaseException] = []
+
+    def worker(index: int) -> None:
+        client = client_factory()
+        try:
+            for turn in range(requests):
+                fields = {
+                    "workload": "Espresso",
+                    "size": "4KB",
+                    "max_refs": max_refs,
+                    "seed": (index + turn) % distinct,
+                }
+                begin = time.perf_counter()
+                record = client.run("simulate", fields, timeout=timeout)
+                latencies[index].append(time.perf_counter() - begin)
+                assert record["state"] == "done", record
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    if failures:
+        raise failures[0]
+
+    metrics = client_factory().metrics()
+    submitted = metrics.get("serve.submitted", 0.0)
+    coalesced = metrics.get("serve.coalesced", 0.0)
+    samples = [sample for per_client in latencies for sample in per_client]
+    completed = len(samples)
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "clients": clients,
+        "requests_per_client": requests,
+        "distinct_requests": distinct,
+        "max_refs": max_refs,
+        "completed": completed,
+        "elapsed_s": elapsed,
+        "throughput_rps": completed / elapsed if elapsed else 0.0,
+        "latency_s": {
+            "mean": sum(samples) / completed,
+            "p50": percentile(samples, 50),
+            "p99": percentile(samples, 99),
+            "max": max(samples),
+        },
+        "coalescing": {
+            "submitted": submitted,
+            "coalesced": coalesced,
+            "hit_rate": (
+                coalesced / (submitted + coalesced)
+                if submitted + coalesced
+                else 0.0
+            ),
+        },
+    }
+
+
+def render(summary: dict) -> str:
+    latency = summary["latency_s"]
+    coalescing = summary["coalescing"]
+    return "\n".join(
+        [
+            f"clients:     {summary['clients']} x "
+            f"{summary['requests_per_client']} requests "
+            f"({summary['distinct_requests']} distinct)",
+            f"completed:   {summary['completed']} in "
+            f"{summary['elapsed_s']:.2f}s "
+            f"({summary['throughput_rps']:.1f} req/s)",
+            f"latency:     p50 {latency['p50'] * 1000:.1f}ms  "
+            f"p99 {latency['p99'] * 1000:.1f}ms  "
+            f"max {latency['max'] * 1000:.1f}ms",
+            f"coalescing:  {coalescing['coalesced']:.0f} of "
+            f"{coalescing['submitted'] + coalescing['coalesced']:.0f} "
+            f"submissions ({coalescing['hit_rate']:.1%}) answered by an "
+            f"existing job",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--server",
+        default=None,
+        help="base url of a running server (default: start one in-process)",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=5)
+    parser.add_argument(
+        "--distinct",
+        type=int,
+        default=4,
+        help="distinct request variants across the fleet (drives coalescing)",
+    )
+    parser.add_argument("--max-refs", type=int, default=20_000)
+    parser.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        help="summary path (default: BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+
+    server = None
+    thread = None
+    if args.server is None:
+        # Self-contained mode: ephemeral in-process server, no cache so
+        # every run measures cold execution plus live coalescing.
+        from repro.serve.server import ServeConfig, SimulationServer
+
+        server = SimulationServer(ServeConfig(port=0, queue_depth=256))
+        thread = threading.Thread(
+            target=server.run, kwargs={"install_signals": False}, daemon=True
+        )
+        thread.start()
+        if not server.ready.wait(10):
+            print("error: in-process server failed to start", file=sys.stderr)
+            return 1
+        host, port = server.address
+        base_url = f"http://{host}:{port}"
+    else:
+        base_url = args.server
+
+    try:
+        summary = run_load(
+            lambda: ServeClient(base_url, timeout=120.0),
+            clients=args.clients,
+            requests=args.requests,
+            distinct=args.distinct,
+            max_refs=args.max_refs,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            thread.join(timeout=30)
+
+    print(render(summary))
+    Path(args.output).write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

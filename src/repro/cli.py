@@ -20,6 +20,21 @@ Commands
     ``BENCH_profile.json``.
 ``cache stats|clear``
     Inspect or empty the on-disk result cache (see docs/performance.md).
+    ``stats --json`` emits the machine-readable form (entry/byte/
+    quarantine counts) that ops tooling and the server's ``/healthz``
+    consume.
+``serve``
+    Run the simulation service: an asyncio HTTP/JSON server exposing
+    ``POST /v1/simulate``, ``POST /v1/sweep``, ``GET /v1/jobs/<id>``,
+    ``GET /healthz``, and ``GET /metrics``. ``--queue-depth`` bounds the
+    admission queue (full means HTTP 429 + Retry-After),
+    ``--max-inflight`` the jobs per scheduler batch, and ``--jobs`` the
+    process-pool workers each batch fans across. SIGINT/SIGTERM drain
+    the running batch before exiting 0. See docs/serving.md.
+``submit simulate|sweep``
+    Submit one request to a running server (``--server`` or
+    ``$REPRO_SERVER``), wait for completion, and print the result —
+    byte-identical to running the equivalent command locally.
 
 Every simulation command also accepts the observability flags
 ``--verbose`` (structured event logging on stderr) and
@@ -47,6 +62,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import os
 import sys
 import tempfile
@@ -120,6 +136,36 @@ def positive_float(text: str) -> float:
             f"must be a positive number of seconds, got {value:g}"
         )
     return value
+
+
+def port_number(text: str) -> int:
+    """argparse type for ``--port``: 0 (ephemeral) through 65535."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a port number, got {text!r}"
+        ) from exc
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be in [0, 65535] (0 requests an ephemeral port), "
+            f"got {value}"
+        )
+    return value
+
+
+def host_name(text: str) -> str:
+    """argparse type for ``--host``: a non-empty, whitespace-free name."""
+    value = text.strip()
+    if not value or any(c.isspace() for c in value):
+        raise argparse.ArgumentTypeError(
+            f"expected a hostname or address, got {text!r}"
+        )
+    return value
+
+
+#: Where ``repro submit`` sends requests unless told otherwise.
+DEFAULT_SERVER = "http://127.0.0.1:8765"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +333,129 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache root (default: .repro-cache or $REPRO_CACHE_DIR)",
     )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable stats (entries/bytes/quarantined), one JSON object",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[resilience_flags],
+        help="run the simulation service (HTTP/JSON; see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host",
+        type=host_name,
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=port_number,
+        default=8765,
+        help="port to bind; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=positive_int,
+        default=64,
+        metavar="N",
+        help="admission-queue capacity; full sheds with 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=positive_int,
+        default=4,
+        metavar="N",
+        help="jobs drained per scheduler batch (default: 4)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes each batch fans across (default: 1, serial)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (and cross-restart coalescing)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result cache root (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="structured event logging on stderr (the server owns the obs "
+        "facade; --trace-events is not supported here)",
+    )
+
+    server_flags = argparse.ArgumentParser(add_help=False)
+    server_flags.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help=f"server base url (default: $REPRO_SERVER or {DEFAULT_SERVER})",
+    )
+    server_flags.add_argument(
+        "--timeout",
+        type=positive_float,
+        default=300.0,
+        metavar="SECONDS",
+        help="overall submit-and-wait budget (default: 300)",
+    )
+    server_flags.add_argument(
+        "--poll",
+        type=positive_float,
+        default=0.05,
+        metavar="SECONDS",
+        help="job-status polling interval (default: 0.05)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one request to a running server and wait"
+    )
+    submit_sub = submit.add_subparsers(dest="request_kind", required=True)
+
+    submit_simulate = submit_sub.add_parser(
+        "simulate",
+        parents=[server_flags],
+        help="served equivalent of `repro simulate`",
+    )
+    submit_simulate.add_argument("workload")
+    submit_simulate.add_argument(
+        "--size", default="16KB", help="cache size (e.g. 64KB)"
+    )
+    submit_simulate.add_argument("--block", type=int, default=32, help="block bytes")
+    submit_simulate.add_argument("--assoc", type=int, default=1, help="ways")
+    submit_simulate.add_argument(
+        "--mtc", action="store_true", help="also run the minimal-traffic cache"
+    )
+    submit_simulate.add_argument("--max-refs", type=positive_int, default=200_000)
+    submit_simulate.add_argument("--seed", type=int, default=0)
+
+    submit_sweep = submit_sub.add_parser(
+        "sweep",
+        parents=[server_flags],
+        help="served equivalent of `repro experiment`",
+    )
+    submit_sweep.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
+    submit_sweep.add_argument(
+        "--max-refs",
+        type=positive_int,
+        default=None,
+        help="bound the references per benchmark (speed/fidelity knob)",
+    )
+    submit_sweep.add_argument(
+        "--engine",
+        choices=list(ENGINE_CHOICES),
+        default=None,
+        help="simulation engine for the served run",
+    )
 
     return parser
 
@@ -431,10 +600,63 @@ def _cmd_cache(args, out) -> None:
 
     cache = ResultCache(args.cache_dir or default_cache_dir())
     if args.action == "stats":
-        print(cache.stats().describe(), file=out)
+        if getattr(args, "json", False):
+            json.dump(cache.stats().to_json(), out, sort_keys=True)
+            print(file=out)
+        else:
+            print(cache.stats().describe(), file=out)
     else:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}", file=out)
+
+
+def _cmd_serve(args) -> int:
+    from repro.exec import default_cache_dir
+    from repro.serve.server import ServeConfig, SimulationServer
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or default_cache_dir()
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        max_inflight=args.max_inflight,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        retry=_retry_policy(args),
+        verbose=args.verbose,
+    )
+    return SimulationServer(config).run()
+
+
+def _cmd_submit(args, out) -> None:
+    from repro.serve.client import ServeClient
+
+    server = args.server or os.environ.get("REPRO_SERVER") or DEFAULT_SERVER
+    if args.request_kind == "simulate":
+        fields = {
+            "workload": args.workload,
+            "size": args.size,
+            "block": args.block,
+            "assoc": args.assoc,
+            "mtc": args.mtc,
+            "max_refs": args.max_refs,
+            "seed": args.seed,
+        }
+    else:
+        fields = {"experiment": args.name}
+        if args.max_refs is not None:
+            fields["max_refs"] = args.max_refs
+        if args.engine is not None:
+            fields["engine"] = args.engine
+    client = ServeClient(server, timeout=args.timeout)
+    record = client.run(
+        args.request_kind, fields, timeout=args.timeout, poll=args.poll
+    )
+    note = " (coalesced)" if record.get("coalesced") else ""
+    print(f"job {record['job']}: done{note}", file=sys.stderr)
+    out.write(record["result"]["output"])
 
 
 def _cmd_stats(args, out) -> None:
@@ -462,7 +684,13 @@ def _configure_observability(args) -> bool:
     disable it again so the process-wide facade returns to its
     zero-overhead default). With no flags the facade is never touched —
     command output stays byte-identical to an uninstrumented build.
+
+    ``serve`` is excluded: the server owns the process-wide facade for
+    its whole lifetime (its /metrics endpoint *is* the registry), so it
+    activates — and restores — observability itself.
     """
+    if getattr(args, "command", None) == "serve":
+        return False
     verbose = getattr(args, "verbose", False)
     trace_path = getattr(args, "trace_events", None)
     if not verbose and not trace_path:
@@ -491,7 +719,8 @@ def _engine_context(args):
     imported just to parse the command line.
     """
     engine = getattr(args, "engine", None)
-    if engine is None:
+    if engine is None or getattr(args, "command", None) == "submit":
+        # submit's --engine is a request field the *server* applies.
         import contextlib
 
         return contextlib.nullcontext()
@@ -566,4 +795,8 @@ def _dispatch(args, out) -> int:
         _cmd_profile(args, out)
     elif args.command == "cache":
         _cmd_cache(args, out)
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "submit":
+        _cmd_submit(args, out)
     return 0

@@ -89,6 +89,73 @@ class FaultInjected(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for the simulation-service layer (:mod:`repro.serve`).
+
+    Every subclass carries an ``http_status`` so the server can map the
+    library taxonomy onto the wire without per-handler case analysis:
+    client mistakes are 4xx, service conditions are 5xx.
+    """
+
+    http_status = 500
+
+
+class ProtocolError(ServeError):
+    """A request the service could not accept as stated (HTTP 400).
+
+    Malformed JSON, an unknown field, a value that fails the same
+    validation the CLI applies at parse time (unknown workload, size that
+    does not parse, non-positive ``max_refs``). Deterministic: the same
+    request is rejected identically every time, so clients must fix the
+    request rather than retry it.
+    """
+
+    http_status = 400
+
+
+class JobNotFound(ServeError):
+    """A job id that names no known job (HTTP 404).
+
+    Job ids are content-addressed, so an id is only ever minted by a
+    ``POST``; asking for an unknown one means the client invented it or
+    the server restarted (job state is in-memory; results persist in the
+    exec cache and resubmission is cheap).
+    """
+
+    http_status = 404
+
+
+class AdmissionRejected(ServeError):
+    """The admission queue is full and the request was shed (HTTP 429).
+
+    Carries ``retry_after`` (seconds, for the ``Retry-After`` header) —
+    an estimate from queue depth times recent job service time. Load
+    shedding at admission is what keeps the server's memory bounded:
+    work waits in the *client*, never in an unbounded server-side list.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    http_status = 429
+
+
+class ServiceUnavailable(ServeError):
+    """The server is draining for shutdown and accepts no new work (503)."""
+
+    http_status = 503
+
+
+class RemoteJobFailed(ServeError):
+    """A submitted job reached the ``failed`` state on the server.
+
+    Raised client-side (:mod:`repro.serve.client`) when waiting on a job
+    whose execution failed after the server's retry ladder; the message
+    carries the server-reported error type and text.
+    """
+
+
 class RunInterrupted(ReproError):
     """A task run was interrupted (SIGINT or an injected interrupt).
 

@@ -84,6 +84,19 @@ class CacheStats:
             text += f", {self.quarantined} quarantined"
         return text
 
+    def to_json(self) -> dict[str, object]:
+        """The stats as JSON data (``repro cache stats --json``, /healthz).
+
+        Always includes ``quarantined`` — ops tooling alerting on
+        quarantine growth must not have to treat an absent field as zero.
+        """
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "quarantined": self.quarantined,
+        }
+
 
 def _parse_entry(path: Path, text: str) -> dict:
     """Decode and structurally validate one on-disk entry.

@@ -208,6 +208,42 @@ class MetricsRegistry:
         """Just the counters — the deterministic part of a snapshot."""
         return {name: self._counters[name].value for name in sorted(self._counters)}
 
+    def exposition(self) -> str:
+        """The registry as a line-oriented text export (``GET /metrics``).
+
+        One ``<name> <value>`` pair per line, grouped by instrument kind
+        under ``#`` comment headers, names sorted within each group so
+        the output is diffable and greppable. Timers flatten their
+        summary into ``<name>.<stat>`` lines (``count`` first). Floats
+        render via ``repr`` so no precision is invented or dropped.
+
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("serve.requests").inc(3)
+        >>> print(registry.exposition())
+        # counters
+        serve.requests 3
+        """
+        lines: list[str] = []
+
+        def value_text(value: object) -> str:
+            return repr(value) if isinstance(value, float) else str(value)
+
+        if self._counters:
+            lines.append("# counters")
+            for name in sorted(self._counters):
+                lines.append(f"{name} {self._counters[name].value}")
+        if self._gauges:
+            lines.append("# gauges")
+            for name in sorted(self._gauges):
+                lines.append(f"{name} {value_text(self._gauges[name].value)}")
+        if self._timers:
+            lines.append("# timers")
+            for name in sorted(self._timers):
+                summary = self._timers[name].summary()
+                for stat in sorted(summary, key=lambda s: (s != "count", s)):
+                    lines.append(f"{name}.{stat} {value_text(summary[stat])}")
+        return "\n".join(lines)
+
     def reset(self) -> None:
         """Drop every instrument (names included)."""
         self._counters.clear()

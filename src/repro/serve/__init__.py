@@ -1,0 +1,63 @@
+"""repro.serve — simulation-as-a-service: the async batch server.
+
+The paper's experiments become queryable jobs behind a stdlib-only
+HTTP/JSON service (``repro serve`` / ``repro submit``). The layer
+*composes* the existing subsystems rather than reimplementing any of
+them:
+
+* :mod:`repro.serve.protocol` — request schemas, normalisation, and
+  content-addressed job ids built on the exec layer's canonical hashing;
+* :mod:`repro.serve.jobs` — job records plus the single worker-side
+  executor, which replays requests through the CLI dispatcher so served
+  output is byte-identical to the equivalent shell invocation;
+* :mod:`repro.serve.admission` — the bounded admission queue: full means
+  HTTP 429 + ``Retry-After``, never unbounded buffering;
+* :mod:`repro.serve.scheduler` — drains batches into
+  :func:`repro.exec.run_tasks` (PR-2 process pool, PR-4 retry/timeout
+  and crash recovery, result cache as journal);
+* :mod:`repro.serve.server` — the asyncio HTTP server, routing, live
+  ``/metrics`` (obs-registry text exposition) and ``/healthz``;
+* :mod:`repro.serve.client` — the pure-python client used by the CLI,
+  the tests, and ``scripts/load_serve.py``.
+
+Identical configs submitted by N clients cost one simulation: job ids
+are content addresses, in-flight and completed duplicates coalesce in
+the job table (``serve.coalesced``), and the exec cache extends the
+dedupe across server restarts. See docs/serving.md for the endpoint
+reference, semantics, and the ops runbook.
+"""
+
+from __future__ import annotations
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.client import ServeClient
+from repro.serve.jobs import JobRecord, JobTable, execute_request
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    job_id,
+    job_material,
+    normalize_request,
+    normalize_simulate,
+    normalize_sweep,
+    request_argv,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeConfig, SimulationServer
+
+__all__ = [
+    "AdmissionQueue",
+    "JobRecord",
+    "JobTable",
+    "PROTOCOL_VERSION",
+    "Scheduler",
+    "ServeClient",
+    "ServeConfig",
+    "SimulationServer",
+    "execute_request",
+    "job_id",
+    "job_material",
+    "normalize_request",
+    "normalize_simulate",
+    "normalize_sweep",
+    "request_argv",
+]

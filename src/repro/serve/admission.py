@@ -1,0 +1,112 @@
+"""Admission control: the bounded queue between HTTP and the scheduler.
+
+The server's memory-safety argument lives here. Every accepted job
+occupies one slot in a fixed-capacity FIFO until the scheduler drains
+it; when the queue is full, new work is *shed at admission* with
+:class:`~repro.errors.AdmissionRejected` (HTTP 429 + ``Retry-After``)
+rather than buffered. Together with request coalescing (which admits
+duplicates for free) this bounds the server's queued state at
+``queue_depth`` jobs no matter how many clients are pushing.
+
+The ``Retry-After`` estimate is queue depth times an exponentially
+weighted moving average of recent per-job service time, clamped to
+[1, 60] seconds — long enough that a well-behaved client backing off
+will usually find a slot, short enough that capacity freed by a burst
+draining is not left idle.
+
+Everything here runs on the event-loop thread only, so plain attributes
+need no locking; the scheduler hands completed-batch timings back via
+:meth:`observe_service_time`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import AdmissionRejected, ConfigurationError
+from repro.serve.jobs import JobRecord
+
+__all__ = ["AdmissionQueue"]
+
+#: Retry-After clamp (seconds).
+MIN_RETRY_AFTER = 1.0
+MAX_RETRY_AFTER = 60.0
+
+#: EWMA weight for the newest service-time sample.
+SERVICE_TIME_ALPHA = 0.3
+
+#: Until a job has completed, assume this per-job cost (seconds).
+DEFAULT_SERVICE_TIME = 1.0
+
+
+class AdmissionQueue:
+    """Fixed-capacity FIFO of queued :class:`JobRecord` items."""
+
+    def __init__(self, depth: int) -> None:
+        if isinstance(depth, bool) or not isinstance(depth, int) or depth < 1:
+            raise ConfigurationError(
+                f"queue depth must be a positive integer, got {depth!r}"
+            )
+        self.capacity = depth
+        self._queue: deque[JobRecord] = deque()
+        self._service_time = DEFAULT_SERVICE_TIME
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def retry_after(self) -> float:
+        """Suggested client back-off, in whole seconds (ceil-clamped)."""
+        estimate = max(1, len(self._queue)) * self._service_time
+        clamped = min(MAX_RETRY_AFTER, max(MIN_RETRY_AFTER, estimate))
+        return float(int(clamped) + (clamped > int(clamped)))
+
+    def offer(self, record: JobRecord) -> None:
+        """Admit *record* or shed it with :class:`AdmissionRejected`."""
+        if self.full:
+            raise AdmissionRejected(
+                f"admission queue full ({self.capacity} jobs queued); "
+                f"retry later",
+                retry_after=self.retry_after(),
+            )
+        self._queue.append(record)
+
+    def drain(self, limit: int) -> list[JobRecord]:
+        """Remove and return up to *limit* records, FIFO order."""
+        batch: list[JobRecord] = []
+        while self._queue and len(batch) < limit:
+            batch.append(self._queue.popleft())
+        return batch
+
+    def drain_all(self) -> list[JobRecord]:
+        """Remove and return everything still queued (shutdown path)."""
+        return self.drain(len(self._queue))
+
+    def requeue(self, records: list[JobRecord]) -> None:
+        """Put already-admitted records back at the head, FIFO preserved.
+
+        Used by the scheduler after batch-level trouble. Deliberately
+        ignores capacity: these records were admitted once, and dropping
+        them now would turn a recovered fault into silent data loss (the
+        queue may transiently exceed ``capacity`` until they drain).
+        """
+        for record in reversed(records):
+            self._queue.appendleft(record)
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Fold one completed job's service time into the EWMA."""
+        if seconds <= 0:
+            return
+        self._service_time = (
+            SERVICE_TIME_ALPHA * seconds
+            + (1.0 - SERVICE_TIME_ALPHA) * self._service_time
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionQueue {len(self._queue)}/{self.capacity} "
+            f"ewma={self._service_time:.3f}s>"
+        )

@@ -1,0 +1,227 @@
+"""Pure-python client for the simulation service (tests, CLI, load gen).
+
+:class:`ServeClient` speaks the wire protocol of
+:mod:`repro.serve.server` over stdlib ``http.client`` — one connection
+per request, matching the server's ``Connection: close`` discipline.
+Server-side error envelopes are re-raised as the *same* typed errors the
+server mapped onto HTTP in the first place
+(:class:`~repro.errors.ProtocolError` for 400,
+:class:`~repro.errors.JobNotFound` for 404,
+:class:`~repro.errors.AdmissionRejected` — with the parsed
+``Retry-After`` — for 429, :class:`~repro.errors.ServiceUnavailable` for
+503), so client code handles one taxonomy whether it runs in-process or
+across the wire.
+
+:meth:`ServeClient.run` is the submit-and-wait convenience the ``repro
+submit`` CLI and the load generator use: it polls the job (honouring
+``Retry-After`` back-off on a full queue when asked to) and returns the
+completed result envelope, raising
+:class:`~repro.errors.RemoteJobFailed` when the server reports failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+
+from repro.errors import (
+    AdmissionRejected,
+    JobNotFound,
+    ProtocolError,
+    RemoteJobFailed,
+    ServeError,
+    ServiceUnavailable,
+)
+
+__all__ = ["ServeClient"]
+
+#: HTTP status -> raised error type (the server's taxonomy, mirrored).
+_ERRORS_BY_STATUS = {
+    400: ProtocolError,
+    404: JobNotFound,
+    503: ServiceUnavailable,
+}
+
+#: Default polling cadence while waiting on a job (seconds).
+DEFAULT_POLL = 0.05
+
+
+class ServeClient:
+    """Talks to one server at ``base_url`` (e.g. ``http://127.0.0.1:8765``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ProtocolError(
+                f"only http:// servers are supported, got {base_url!r}"
+            )
+        host = parsed.hostname or parsed.path or "127.0.0.1"
+        if not host:
+            raise ProtocolError(f"no host in server url {base_url!r}")
+        self.host = host
+        self.port = parsed.port or 8765
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {"Connection": "close"}
+            if body is not None:
+                payload = json.dumps(body, sort_keys=True).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            lowered = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, lowered, data
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"cannot reach server at http://{self.host}:{self.port}: "
+                f"{exc} (is `repro serve` running?)"
+            ) from exc
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(data: bytes) -> dict:
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError(
+                f"server sent a non-JSON response: {exc}"
+            ) from exc
+        if not isinstance(decoded, dict):
+            raise ServeError(
+                f"server sent a non-object response: {decoded!r}"
+            )
+        return decoded
+
+    def _json(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        status, headers, data = self._request(method, path, body)
+        if status < 400:
+            return self._decode(data)
+        message = "server error"
+        try:
+            message = self._decode(data)["error"]["message"]
+        except (ServeError, KeyError, TypeError):
+            pass
+        if status == 429:
+            try:
+                retry_after = float(headers.get("retry-after", "1"))
+            except ValueError:
+                retry_after = 1.0
+            raise AdmissionRejected(message, retry_after=retry_after)
+        raise _ERRORS_BY_STATUS.get(status, ServeError)(message)
+
+    # -- protocol operations -------------------------------------------------------
+
+    def submit_simulate(self, **fields: object) -> dict:
+        """``POST /v1/simulate``; returns ``{"job", "state", "coalesced"}``."""
+        return self._json("POST", "/v1/simulate", fields)
+
+    def submit_sweep(self, **fields: object) -> dict:
+        """``POST /v1/sweep``; returns ``{"job", "state", "coalesced"}``."""
+        return self._json("POST", "/v1/sweep", fields)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>`` — the full job record."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw text exposition."""
+        status, _, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics answered {status}")
+        return data.decode("utf-8")
+
+    def metrics(self) -> dict[str, float]:
+        """The exposition parsed into ``{name: value}`` (comments dropped)."""
+        values: dict[str, float] = {}
+        for line in self.metrics_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            values[name] = float(value)
+        return values
+
+    # -- conveniences --------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = DEFAULT_POLL,
+    ) -> dict:
+        """Poll until the job leaves the queued/running states.
+
+        Returns the final record for ``done`` jobs; raises
+        :class:`RemoteJobFailed` for ``failed``/``cancelled`` ones and
+        :class:`ServeError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            state = record.get("state")
+            if state == "done":
+                return record
+            if state in ("failed", "cancelled"):
+                error = record.get("error") or {}
+                raise RemoteJobFailed(
+                    f"job {job_id} {state}: "
+                    f"{error.get('type', '?')}: {error.get('message', '?')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {state} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def run(
+        self,
+        kind: str,
+        fields: dict,
+        *,
+        timeout: float = 300.0,
+        poll: float = DEFAULT_POLL,
+        backoff_on_full: bool = True,
+    ) -> dict:
+        """Submit one request and wait for its result envelope.
+
+        With *backoff_on_full*, a 429 is retried after the server's
+        ``Retry-After`` (until *timeout* is spent) — the closed-loop
+        behaviour a well-behaved client owes a load-shedding server.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                submitted = (
+                    self.submit_simulate(**fields)
+                    if kind == "simulate"
+                    else self.submit_sweep(**fields)
+                )
+                break
+            except AdmissionRejected as exc:
+                if not backoff_on_full:
+                    raise
+                if time.monotonic() + exc.retry_after > deadline:
+                    raise
+                time.sleep(exc.retry_after)
+        remaining = max(poll, deadline - time.monotonic())
+        return self.wait(submitted["job"], timeout=remaining, poll=poll)

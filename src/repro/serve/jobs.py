@@ -1,0 +1,153 @@
+"""Job records and the worker-side request executor.
+
+A job is one normalised request plus its lifecycle state. The state
+machine is deliberately small::
+
+    queued ──► running ──► done
+                   │
+                   └─────► failed        (after the exec layer's retry
+    queued ──► cancelled                  ladder gave up)
+
+``cancelled`` only happens at shutdown: jobs still waiting in the
+admission queue when the server drains are not started (their results
+would be unobservable), while *running* jobs are always drained to
+completion so their results land in the exec cache.
+
+:func:`execute_request` is the single function every job runs — in a
+pool worker when the scheduler batches more than one job, inline
+otherwise. It replays the request through the CLI dispatcher with the
+argv from :func:`repro.serve.protocol.request_argv`, which makes served
+output byte-identical to the equivalent shell invocation *by
+construction* rather than by parallel reimplementation.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "JobRecord",
+    "execute_request",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States from which a job will still produce (or has produced) a result;
+#: a resubmission of one of these coalesces instead of re-running.
+COALESCABLE_STATES = (QUEUED, RUNNING, DONE)
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One job's identity, request, and lifecycle state."""
+
+    id: str
+    request: dict
+    material: dict
+    state: str = QUEUED
+    #: The executor's envelope (output text) once ``done``.
+    result: dict | None = None
+    #: ``{"type": ..., "message": ...}`` once ``failed``.
+    error: dict | None = None
+    #: How many submissions this record absorbed beyond the first.
+    coalesced: int = 0
+    #: Wall-clock service time of the batch that completed the job
+    #: (seconds); feeds the Retry-After estimate, never the result.
+    service_seconds: float | None = None
+
+    def describe(self) -> dict:
+        """The job as the wire representation of ``GET /v1/jobs/<id>``."""
+        body: dict = {
+            "job": self.id,
+            "state": self.state,
+            "kind": self.request["kind"],
+            "request": dict(self.request),
+            "coalesced": self.coalesced,
+        }
+        if self.result is not None:
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+@dataclass(slots=True)
+class JobTable:
+    """In-memory index of every job this server process has seen.
+
+    Keyed by content-addressed job id, so the table *is* the coalescing
+    map: an identical request resolves to an identical id, and any
+    existing record in a coalescable state absorbs the submission. A
+    ``failed`` or ``cancelled`` record does not coalesce — resubmitting
+    is the retry path — and is replaced by the fresh record.
+    """
+
+    records: dict[str, JobRecord] = field(default_factory=dict)
+
+    def get(self, job_id: str) -> JobRecord | None:
+        return self.records.get(job_id)
+
+    def resolve(self, record: JobRecord) -> tuple[JobRecord, bool]:
+        """Admit *record* or coalesce onto an existing equivalent.
+
+        Returns ``(record, coalesced)`` where *record* is the one the
+        caller should report (the existing record when coalescing).
+        """
+        existing = self.records.get(record.id)
+        if existing is not None and existing.state in COALESCABLE_STATES:
+            existing.coalesced += 1
+            return existing, True
+        self.records[record.id] = record
+        return record, False
+
+    def discard(self, record: JobRecord) -> None:
+        """Forget *record* if it is still the one indexed under its id.
+
+        The admission path uses this to undo a :meth:`resolve` whose
+        record was then shed by the bounded queue — leaving it behind
+        would let later identical submissions coalesce onto a job that
+        will never run.
+        """
+        if self.records.get(record.id) is record:
+            del self.records[record.id]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (for /healthz)."""
+        counts: dict[str, int] = {}
+        for record in self.records.values():
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def execute_request(request: dict) -> dict:
+    """Run one normalised request exactly as the CLI would (worker side).
+
+    Returns the result envelope stored in the exec cache and returned to
+    clients: the CLI's stdout plus the argv that produced it. Library
+    errors propagate as exceptions so the exec layer's retry taxonomy
+    (fail fast on deterministic :class:`~repro.errors.ReproError`, retry
+    the rest) applies unchanged.
+    """
+    from repro import cli
+    from repro.serve.protocol import request_argv
+
+    argv = request_argv(request)
+    out = io.StringIO()
+    args = cli.build_parser().parse_args(argv)
+    with cli._engine_context(args):
+        cli._dispatch(args, out)
+    return {
+        "schema": "repro.serve-result/v1",
+        "argv": argv,
+        "output": out.getvalue(),
+    }

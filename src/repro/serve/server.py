@@ -1,0 +1,414 @@
+"""The asyncio HTTP/JSON server: routing, backpressure, live metrics.
+
+Stdlib-only by construction: requests are parsed directly off asyncio
+streams (no ``http.server``, no third-party framework), one request per
+connection (``Connection: close``), bodies capped at 1 MiB. That is all
+the HTTP a batch-simulation service needs, and every byte of it is
+inspectable in this one module.
+
+Endpoints::
+
+    POST /v1/simulate   submit one cache/MTC run        -> 202 (or 200 coalesced)
+    POST /v1/sweep      submit one experiment grid      -> 202 (or 200 coalesced)
+    GET  /v1/jobs/<id>  job state; result once done     -> 200 / 404
+    GET  /healthz       liveness + queue/jobs/cache     -> 200
+    GET  /metrics       obs-registry text exposition    -> 200
+
+The request path is deliberately thin: normalise (400 on bad input),
+content-address, coalesce against the job table (200, ``serve.coalesced``),
+or admit into the bounded queue (429 + ``Retry-After`` when full,
+``serve.rejected``). Everything heavy happens in the scheduler's batches.
+
+Lifecycle: :meth:`SimulationServer.run` blocks until SIGINT/SIGTERM
+(or a cross-thread :meth:`shutdown`), then drains — the running batch
+completes, queued jobs are cancelled, and the process exits 0. The obs
+facade is active for the server's lifetime so ``/metrics`` always has a
+live registry; the previous facade state is restored on exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import (
+    AdmissionRejected,
+    JobNotFound,
+    ProtocolError,
+    ServeError,
+    ServiceUnavailable,
+)
+from repro.obs import OBS
+from repro.serve.admission import AdmissionQueue
+from repro.serve.jobs import JobRecord, JobTable
+from repro.serve.protocol import job_id, job_material, normalize_request
+from repro.serve.scheduler import Scheduler
+
+__all__ = ["ServeConfig", "SimulationServer"]
+
+#: Request-body ceiling; a simulate/sweep request is a few hundred bytes,
+#: so anything near this is a client bug, not a bigger valid request.
+MAX_BODY_BYTES = 1 << 20
+
+#: Per-connection read budget; protects the accept loop from stalled peers.
+READ_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Everything ``repro serve`` configures, in one picklable bag."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    queue_depth: int = 64
+    max_inflight: int = 4
+    jobs: int = 1
+    #: Exec-cache root for job results; ``None`` disables caching (and
+    #: with it completed-work coalescing across restarts).
+    cache_dir: str | None = None
+    #: A :class:`repro.exec.RetryPolicy`, or ``None`` for the default.
+    retry: object | None = None
+    verbose: bool = False
+
+
+def _json_bytes(payload: object) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _response(
+    status: int,
+    body: bytes,
+    content_type: str,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS[status]}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class SimulationServer:
+    """One service instance: listener + job table + queue + scheduler."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.table = JobTable()
+        self.queue = AdmissionQueue(config.queue_depth)
+        cache = None
+        if config.cache_dir is not None:
+            from repro.exec import ResultCache
+
+            cache = ResultCache(config.cache_dir)
+        self.cache = cache
+        self.scheduler = Scheduler(
+            self.queue,
+            self.table,
+            max_inflight=config.max_inflight,
+            jobs=config.jobs,
+            cache=cache,
+            retry=config.retry,
+        )
+        #: (host, port) actually bound — resolves ``port=0`` requests.
+        self.address: tuple[str, int] | None = None
+        #: Set once the listener is bound (cross-thread test harnesses).
+        self.ready = threading.Event()
+        self.draining = False
+        self._listener: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_requested: asyncio.Event | None = None
+        self._scheduler_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the scheduler (loop must be running)."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_requested = asyncio.Event()
+        self._listener = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.address = self._listener.sockets[0].getsockname()[:2]
+        self._scheduler_task = asyncio.create_task(self.scheduler.run())
+        self.ready.set()
+
+    def shutdown(self) -> None:
+        """Request a graceful drain; safe to call from any thread."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._begin_shutdown)
+
+    def _begin_shutdown(self) -> None:
+        self.draining = True
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def _drain(self) -> int:
+        """Finish the running batch, cancel the queue, close the listener."""
+        self.scheduler.stop()
+        drained = 0
+        if self._scheduler_task is not None:
+            try:
+                drained = await self._scheduler_task
+            except Exception as exc:  # pragma: no cover - scheduler bug
+                print(f"scheduler crashed during drain: {exc}", file=sys.stderr)
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        return drained
+
+    async def _main(self, install_signals: bool) -> int:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, self._begin_shutdown)
+        host, port = self.address
+        print(
+            f"serving on http://{host}:{port} "
+            f"(queue-depth={self.config.queue_depth}, "
+            f"max-inflight={self.config.max_inflight}, "
+            f"jobs={self.config.jobs})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await self._shutdown_requested.wait()
+        drained = await self._drain()
+        print(
+            f"shutting down: drained {drained} in-flight job(s), "
+            f"{self.scheduler.cancelled} cancelled",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 0
+
+    def run(self, *, install_signals: bool = True) -> int:
+        """Blocking entry point: serve until shut down, then drain.
+
+        Activates the process-wide obs facade for the server's lifetime
+        (so ``/metrics`` and the serve counters are live) and restores
+        the previous facade state afterwards — embedding a server in a
+        test leaves global state exactly as found.
+        """
+        prev = (OBS.registry, OBS.sink, OBS.enabled, OBS._seq)
+        sink = obs.StderrSink() if self.config.verbose else None
+        obs.configure(sink=sink)
+        try:
+            return asyncio.run(self._main(install_signals))
+        finally:
+            if OBS.sink is not prev[1]:
+                OBS.sink.close()
+            OBS.registry, OBS.sink, OBS.enabled, OBS._seq = prev
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                parsed = await asyncio.wait_for(
+                    self._read_request(reader), timeout=READ_TIMEOUT
+                )
+            except ProtocolError as exc:
+                writer.write(self._error_response(exc))
+                return
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError, OSError):
+                return  # peer stalled or vanished; nothing to answer
+            if parsed is None:
+                return
+            method, target, body = parsed
+            if OBS.enabled:
+                OBS.count("serve.requests")
+            try:
+                response = self._route(method, target, body)
+            except ServeError as exc:
+                response = self._error_response(exc)
+            except Exception as exc:  # route bug: answer 500, keep serving
+                payload = {"error": {"type": type(exc).__name__,
+                                     "message": str(exc)}}
+                response = _response(
+                    500, _json_bytes(payload), "application/json"
+                )
+            writer.write(response)
+            await writer.drain()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _error_response(exc: ServeError) -> bytes:
+        if OBS.enabled and isinstance(exc, AdmissionRejected):
+            OBS.count("serve.rejected")
+        headers = {}
+        if isinstance(exc, AdmissionRejected):
+            headers["Retry-After"] = str(int(exc.retry_after))
+        payload = {"error": {"type": type(exc).__name__, "message": str(exc)}}
+        return _response(
+            exc.http_status, _json_bytes(payload), "application/json", headers
+        )
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes] | None:
+        """Parse one HTTP/1.x request head + body off the stream.
+
+        Returns ``None`` when the peer closed without sending anything;
+        raises :class:`ProtocolError` for requests this server will not
+        interpret (the connection still gets a clean 400).
+        """
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ProtocolError(f"malformed request line: {line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1", "replace").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+            if len(headers) > 100:
+                raise ProtocolError("too many request headers")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise ProtocolError("Content-Length is not an integer") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    # -- routing -------------------------------------------------------------------
+
+    def _route(self, method: str, target: str, body: bytes) -> bytes:
+        path = target.split("?", 1)[0]
+        if path in ("/v1/simulate", "/v1/sweep"):
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._submit(path.rsplit("/", 1)[1], body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._job_status(path[len("/v1/jobs/"):])
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._metrics()
+        raise JobNotFound(f"no route for {path!r}")
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> bytes:
+        payload = {"error": {"type": "MethodNotAllowed",
+                             "message": f"use {allowed}"}}
+        return _response(
+            405, _json_bytes(payload), "application/json", {"Allow": allowed}
+        )
+
+    def _submit(self, kind: str, body: bytes) -> bytes:
+        if self.draining:
+            raise ServiceUnavailable(
+                "server is draining for shutdown; resubmit elsewhere or later"
+            )
+        if body:
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"request body is not valid JSON: {exc}"
+                ) from exc
+        else:
+            decoded = {}
+        request = normalize_request(kind, decoded)
+        material = job_material(request)
+        record = JobRecord(
+            id=job_id(material), request=request, material=material
+        )
+        record, coalesced = self.table.resolve(record)
+        if coalesced:
+            if OBS.enabled:
+                OBS.count("serve.coalesced")
+        else:
+            try:
+                self.queue.offer(record)  # raises AdmissionRejected when full
+            except AdmissionRejected:
+                self.table.discard(record)  # never admitted, never runs
+                raise
+            if OBS.enabled:
+                OBS.count("serve.submitted")
+            self.scheduler.notify()
+        self.scheduler._gauges()
+        payload = {
+            "job": record.id,
+            "state": record.state,
+            "coalesced": coalesced,
+        }
+        return _response(
+            200 if coalesced else 202, _json_bytes(payload), "application/json"
+        )
+
+    def _job_status(self, job_id_text: str) -> bytes:
+        record = self.table.get(job_id_text)
+        if record is None:
+            raise JobNotFound(
+                f"no job {job_id_text!r} (job state is in-memory; results "
+                f"persist in the result cache — resubmit to recover them)"
+            )
+        return _response(
+            200, _json_bytes(record.describe()), "application/json"
+        )
+
+    def _healthz(self) -> bytes:
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "queue": {
+                "depth": len(self.queue),
+                "capacity": self.queue.capacity,
+            },
+            "inflight": self.scheduler.inflight,
+            "jobs": self.table.counts(),
+            "cache": self.cache.stats().to_json() if self.cache else None,
+        }
+        return _response(200, _json_bytes(payload), "application/json")
+
+    def _metrics(self) -> bytes:
+        self.scheduler._gauges()  # queue-depth/inflight read fresh
+        text = OBS.registry.exposition() if OBS.enabled else ""
+        return _response(
+            200, (text + "\n").encode("utf-8"), "text/plain; charset=utf-8"
+        )

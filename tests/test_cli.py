@@ -301,3 +301,93 @@ class TestResilienceFlags:
         assert warm == clean
         text = run_cli("cache", "stats", "--cache-dir", cache_dir)
         assert "1 quarantined" in text
+        stats = json.loads(
+            run_cli("cache", "stats", "--cache-dir", cache_dir, "--json")
+        )
+        assert stats["quarantined"] == 1
+
+
+class TestCacheStatsJson:
+    def test_json_and_human_modes_agree(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cc")
+        run_cli(
+            "experiment", "table7", "--max-refs", "2000",
+            "--cache-dir", cache_dir,
+        )
+        capsys.readouterr()
+        human = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        stats = json.loads(
+            run_cli("cache", "stats", "--cache-dir", cache_dir, "--json")
+        )
+        assert set(stats) == {"root", "entries", "total_bytes", "quarantined"}
+        assert stats["root"] == cache_dir
+        assert stats["entries"] > 0
+        assert stats["quarantined"] == 0
+        assert f"{stats['entries']} entries" in human
+        assert f"{stats['total_bytes']:,} bytes" in human
+
+    def test_empty_cache_json(self, tmp_path):
+        cache_dir = str(tmp_path / "empty")
+        stats = json.loads(
+            run_cli("cache", "stats", "--cache-dir", cache_dir, "--json")
+        )
+        assert stats == {
+            "root": cache_dir,
+            "entries": 0,
+            "total_bytes": 0,
+            "quarantined": 0,
+        }
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8765)
+        assert (args.queue_depth, args.max_inflight, args.jobs) == (64, 4, 1)
+        assert not args.no_cache and not args.verbose
+
+    def test_port_range_validated(self, capsys):
+        for bad in ("-1", "65536", "http", "80.0"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--port", bad])
+        err = capsys.readouterr().err
+        assert "[0, 65535]" in err
+
+    def test_port_zero_means_ephemeral(self):
+        assert build_parser().parse_args(["serve", "--port", "0"]).port == 0
+
+    def test_host_must_be_a_name(self, capsys):
+        for bad in ("", "two words"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--host", bad])
+        assert "hostname" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--queue-depth", "--max-inflight"])
+    def test_capacities_must_be_positive(self, flag, capsys):
+        for bad in ("0", "-4", "many"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", flag, bad])
+        assert "positive" in capsys.readouterr().err or True
+
+    def test_submit_requires_a_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_simulate_mirrors_simulate_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "simulate", "Espresso", "--size", "4KB", "--mtc"]
+        )
+        assert args.request_kind == "simulate"
+        assert args.workload == "Espresso"
+        assert args.size == "4KB" and args.mtc
+        assert args.server is None and args.timeout == 300.0
+
+    def test_submit_sweep_validates_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "sweep", "table99"])
+
+    def test_submit_timeout_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "sweep", "table7", "--timeout", "0"]
+            )

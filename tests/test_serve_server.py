@@ -1,0 +1,351 @@
+"""End-to-end tests for the simulation service.
+
+Most tests run a real server in-process (listener on an ephemeral port,
+scheduler on its own event loop in a worker thread) and talk to it with
+:class:`repro.serve.client.ServeClient` over real sockets. The graceful
+shutdown test runs ``python -m repro serve`` as a subprocess so it can
+deliver an actual SIGINT.
+"""
+
+import contextlib
+import io
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    JobNotFound,
+    ProtocolError,
+    ServeError,
+)
+from repro.obs import OBS
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, SimulationServer
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@contextlib.contextmanager
+def running_server(**overrides):
+    """A live server on an ephemeral port, torn down (and OBS restored)."""
+    config = ServeConfig(port=0, **overrides)
+    server = SimulationServer(config)
+    result: list[int] = []
+    thread = threading.Thread(
+        target=lambda: result.append(server.run(install_signals=False)),
+        daemon=True,
+    )
+    thread.start()
+    assert server.ready.wait(10), "server never bound its listener"
+    host, port = server.address
+    client = ServeClient(f"http://{host}:{port}", timeout=30)
+    try:
+        yield server, client
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server thread failed to exit"
+    assert result == [0]
+    assert not OBS.enabled, "server did not restore the obs facade"
+
+
+def run_cli(*argv: str) -> str:
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0, out.getvalue()
+    return out.getvalue()
+
+
+class TestServedResults:
+    def test_simulate_is_byte_identical_to_the_cli(self, tmp_path):
+        with running_server(cache_dir=str(tmp_path / "cache")) as (_, client):
+            record = client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+        direct = run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "5000"
+        )
+        assert record["state"] == "done"
+        assert record["result"]["output"] == direct
+
+    def test_sweep_is_byte_identical_to_the_cli(self, tmp_path, monkeypatch):
+        # The served sweep's nested experiment run and the direct run
+        # share this exec cache, so the second pass is all cache hits.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with running_server(cache_dir=str(tmp_path / "cache")) as (_, client):
+            record = client.run(
+                "sweep",
+                {"experiment": "table7", "max_refs": 2000},
+                timeout=120,
+            )
+        direct = run_cli("experiment", "table7", "--max-refs", "2000")
+        assert record["result"]["output"] == direct
+
+    def test_submit_cli_prints_the_served_output(self, tmp_path, capsys):
+        with running_server(cache_dir=str(tmp_path / "cache")) as (
+            server,
+            client,
+        ):
+            host, port = server.address
+            via_submit = run_cli(
+                "submit", "simulate", "Espresso",
+                "--size", "4KB", "--max-refs", "5000",
+                "--server", f"http://{host}:{port}",
+            )
+            assert "done" in capsys.readouterr().err
+        direct = run_cli(
+            "simulate", "Espresso", "--size", "4KB", "--max-refs", "5000"
+        )
+        assert via_submit == direct
+
+    def test_result_reused_across_server_restarts(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        request = {"workload": "Espresso", "size": "4KB", "max_refs": 5000}
+        with running_server(cache_dir=cache_dir) as (_, client):
+            first = client.run("simulate", request, timeout=60)
+        with running_server(cache_dir=cache_dir) as (_, client):
+            second = client.run("simulate", request, timeout=60)
+            metrics = client.metrics()
+        assert second["result"] == first["result"]
+        # The restarted server answered from the exec cache: the task ran
+        # but its value was a cache hit, not a recomputation.
+        assert metrics.get("exec.cache.hit") == 1
+
+
+class TestCoalescing:
+    def test_identical_submissions_run_once(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_execute(request):
+            calls.append(request)
+            started.set()
+            assert release.wait(30)
+            return {"output": "one\n"}
+
+        monkeypatch.setattr("repro.serve.jobs.execute_request", slow_execute)
+        body = {"workload": "Espresso", "max_refs": 5000}
+        with running_server() as (_, client):
+            first = client.submit_simulate(**body)
+            assert not first["coalesced"]
+            assert started.wait(10)
+            # Same request, different spelling: coalesces onto the
+            # in-flight job instead of queueing a second run.
+            second = client.submit_simulate(
+                workload="Espresso", max_refs=5000, size="16KB"
+            )
+            assert second["coalesced"]
+            assert second["job"] == first["job"]
+            release.set()
+            record = client.wait(first["job"], timeout=30)
+            metrics = client.metrics()
+        assert record["result"]["output"] == "one\n"
+        assert record["coalesced"] == 1
+        assert len(calls) == 1
+        assert metrics["serve.coalesced"] == 1
+        assert metrics["serve.submitted"] == 1
+        assert metrics["serve.jobs.done"] == 1
+
+    def test_completed_jobs_also_coalesce(self, tmp_path):
+        body = {"workload": "Espresso", "size": "4KB", "max_refs": 5000}
+        with running_server(cache_dir=str(tmp_path / "cache")) as (_, client):
+            done = client.run("simulate", body, timeout=60)
+            again = client.submit_simulate(**body)
+            assert again["coalesced"]
+            assert again["state"] == "done"
+            assert again["job"] == done["job"]
+            # A coalesced hit on a done job is answerable immediately.
+            assert client.job(again["job"])["result"] == done["result"]
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_execute(request):
+            started.set()
+            assert release.wait(30)
+            return {"output": f"{request['seed']}\n"}
+
+        monkeypatch.setattr("repro.serve.jobs.execute_request", slow_execute)
+        with running_server(queue_depth=1, max_inflight=1) as (_, client):
+            running = client.submit_simulate(workload="Espresso", seed=0)
+            assert started.wait(10)  # seed=0 drained; queue empty again
+            queued = client.submit_simulate(workload="Espresso", seed=1)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                client.submit_simulate(workload="Espresso", seed=2)
+            assert excinfo.value.retry_after >= 1.0
+            metrics = client.metrics()
+            assert metrics["serve.rejected"] == 1
+            assert metrics["serve.queue.depth"] == 1
+            release.set()
+            client.wait(running["job"], timeout=30)
+            client.wait(queued["job"], timeout=30)
+            # Capacity freed: the previously shed request now admits.
+            retried = client.submit_simulate(workload="Espresso", seed=2)
+            client.wait(retried["job"], timeout=30)
+
+    def test_client_run_backs_off_and_succeeds(self, monkeypatch):
+        release = threading.Event()
+
+        def slow_execute(request):
+            release.wait(5)
+            return {"output": f"{request['seed']}\n"}
+
+        monkeypatch.setattr("repro.serve.jobs.execute_request", slow_execute)
+        with running_server(queue_depth=1, max_inflight=1) as (_, client):
+            jobs = [
+                client.submit_simulate(workload="Espresso", seed=seed)
+                for seed in (0, 1)
+            ]
+            release.set()
+            # seed=2 may be shed at first; run() honours Retry-After and
+            # retries until admitted.
+            record = client.run(
+                "simulate", {"workload": "Espresso", "seed": 2}, timeout=60
+            )
+            assert record["state"] == "done"
+            for submitted in jobs:
+                client.wait(submitted["job"], timeout=30)
+
+
+class TestProtocolErrors:
+    def test_malformed_json_is_a_protocol_error(self):
+        import http.client
+
+        with running_server() as (server, client):
+            with pytest.raises(ProtocolError, match="workload"):
+                client.submit_simulate()  # empty body -> missing workload
+            host, port = server.address
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request(
+                "POST", "/v1/simulate", body=b"not json",
+                headers={"Connection": "close"},
+            )
+            response = connection.getresponse()
+            payload = response.read().decode()
+            connection.close()
+            assert response.status == 400
+            assert "JSON" in payload
+
+    def test_unknown_job_is_404(self):
+        with running_server() as (_, client):
+            with pytest.raises(JobNotFound, match="result cache"):
+                client.job("deadbeefdeadbeef")
+
+    def test_unknown_route_is_404(self):
+        with running_server() as (_, client):
+            status, _, _ = client._request("GET", "/v2/nothing")
+            assert status == 404
+
+    def test_wrong_method_is_405_with_allow(self):
+        with running_server() as (_, client):
+            status, headers, _ = client._request("GET", "/v1/simulate")
+            assert status == 405
+            assert headers["allow"] == "POST"
+            status, headers, _ = client._request("POST", "/healthz")
+            assert status == 405
+            assert headers["allow"] == "GET"
+
+    def test_unreachable_server_is_a_typed_error(self):
+        client = ServeClient("http://127.0.0.1:1", timeout=2)
+        with pytest.raises(ServeError, match="cannot reach server"):
+            client.healthz()
+
+
+class TestIntrospection:
+    def test_healthz_reports_queue_jobs_and_cache(self, tmp_path):
+        with running_server(cache_dir=str(tmp_path / "cache")) as (_, client):
+            client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue"] == {"depth": 0, "capacity": 64}
+        assert health["jobs"] == {"done": 1}
+        assert health["cache"]["entries"] == 1
+        assert health["cache"]["quarantined"] == 0
+
+    def test_healthz_without_cache(self):
+        with running_server() as (_, client):
+            assert client.healthz()["cache"] is None
+
+    def test_metrics_exposition_has_serve_counters(self, tmp_path):
+        with running_server(cache_dir=str(tmp_path / "cache")) as (_, client):
+            client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+            text = client.metrics_text()
+            metrics = client.metrics()
+        assert "# counters" in text
+        assert metrics["serve.submitted"] == 1
+        assert metrics["serve.jobs.done"] == 1
+        assert metrics["serve.queue.depth"] == 0
+        assert metrics["serve.inflight"] == 0
+        assert metrics["serve.requests"] >= 2  # the submit + the polls
+        assert metrics["serve.batch.time.count"] == 1
+
+
+class TestGracefulShutdown:
+    def test_sigint_drains_and_exits_zero(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--cache-dir", str(cache_dir),
+            ],
+            stderr=subprocess.PIPE,
+            cwd=REPO_ROOT,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = ""
+            deadline = time.monotonic() + 30
+            while "serving on" not in banner:
+                assert time.monotonic() < deadline, "no serving banner"
+                banner = process.stderr.readline()
+            address = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert address, banner
+            client = ServeClient(
+                f"http://{address[1]}:{address[2]}", timeout=30
+            )
+            record = client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+            assert record["state"] == "done"
+            process.send_signal(signal.SIGINT)
+            remainder = process.stderr.read()
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert "shutting down: drained" in remainder
+        # The job's envelope was journalled to the exec cache on the way
+        # through — the PR-4 checkpoint semantics the service inherits.
+        from repro.exec import ResultCache
+
+        assert ResultCache(cache_dir).stats().entries == 1
