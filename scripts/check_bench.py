@@ -1,0 +1,228 @@
+"""Regression check: fresh benchmark runs vs the committed baselines.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_bench.py [--only profile|serve]
+                                                 [--tolerance 0.5]
+
+Re-measures the two committed benchmark artifacts —
+
+* ``BENCH_profile.json`` (``repro profile``: simulation throughput), and
+* ``BENCH_serve.json`` (``scripts/load_serve.py``: served latency and
+  throughput under closed-loop load)
+
+— and compares the headline numbers against the checked-in files with a
+relative tolerance band. Timing on shared CI runners is noisy, so the
+default band is wide (±50%) and the check is wired into CI as a
+*non-blocking* report: a ``REGRESSION`` verdict flags a commit for a
+human look, it does not fail the build. Exit status is 0 when everything
+is within band, 1 when any metric regressed, 2 when a baseline file is
+missing or unreadable (regenerate and commit it).
+
+A baseline written by an older schema is compared on the keys both
+versions share; the report notes the mismatch so the baseline gets
+regenerated with the current writer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric key path -> (direction, human label). Direction "higher" means
+#: larger is better (throughput); "lower" means smaller is better
+#: (latency, wall clock). A fresh value is a regression when it is worse
+#: than baseline * (1 +/- tolerance) in the metric's bad direction.
+PROFILE_METRICS = {
+    ("refs_per_second",): ("higher", "simulation throughput (refs/s)"),
+    ("wall_seconds",): ("lower", "profile wall clock (s)"),
+}
+SERVE_METRICS = {
+    ("throughput_rps",): ("higher", "served throughput (req/s)"),
+    ("latency_s", "p50"): ("lower", "latency p50 (s)"),
+    ("latency_s", "p95"): ("lower", "latency p95 (s)"),
+    ("latency_s", "p99"): ("lower", "latency p99 (s)"),
+}
+
+OK = "ok"
+REGRESSION = "REGRESSION"
+IMPROVED = "improved"
+SKIPPED = "skipped"
+
+
+def dig(data: dict, path: tuple) -> float | None:
+    """The number at *path* inside nested dicts, or None when absent."""
+    node = data
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(
+    baseline: dict, fresh: dict, metrics: dict, tolerance: float
+) -> list[dict]:
+    """Per-metric verdicts for one benchmark pair."""
+    rows = []
+    for path, (direction, label) in metrics.items():
+        base = dig(baseline, path)
+        new = dig(fresh, path)
+        if base is None or new is None or base <= 0:
+            rows.append(
+                {"label": label, "verdict": SKIPPED, "base": base, "new": new}
+            )
+            continue
+        ratio = new / base
+        if direction == "higher":
+            verdict = (
+                REGRESSION
+                if ratio < 1 - tolerance
+                else IMPROVED if ratio > 1 + tolerance else OK
+            )
+        else:
+            verdict = (
+                REGRESSION
+                if ratio > 1 + tolerance
+                else IMPROVED if ratio < 1 - tolerance else OK
+            )
+        rows.append(
+            {
+                "label": label,
+                "verdict": verdict,
+                "base": base,
+                "new": new,
+                "ratio": ratio,
+            }
+        )
+    return rows
+
+
+def render(title: str, rows: list[dict]) -> str:
+    lines = [f"{title}:"]
+    for row in rows:
+        if row["verdict"] == SKIPPED:
+            lines.append(
+                f"  {row['label']:<34s} skipped "
+                f"(baseline={row['base']} fresh={row['new']})"
+            )
+            continue
+        lines.append(
+            f"  {row['label']:<34s} {row['base']:>12.4g} -> "
+            f"{row['new']:>12.4g}  x{row['ratio']:.2f}  {row['verdict']}"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def fresh_profile(baseline: dict) -> dict:
+    """Re-run the committed profile configuration in-process."""
+    from repro.obs.profiler import profile_experiment
+
+    profile, _ = profile_experiment(
+        baseline.get("experiment", "table2"),
+        max_refs=baseline.get("max_refs"),
+    )
+    return profile.to_dict()
+
+
+def fresh_serve(baseline: dict) -> dict:
+    """Re-run the committed closed-loop load against a throwaway server."""
+    import threading
+
+    from load_serve import run_load
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, SimulationServer
+
+    server = SimulationServer(ServeConfig(port=0, queue_depth=256))
+    thread = threading.Thread(
+        target=server.run, kwargs={"install_signals": False}, daemon=True
+    )
+    thread.start()
+    if not server.ready.wait(10):
+        raise RuntimeError("in-process server failed to start")
+    host, port = server.address
+    try:
+        return run_load(
+            lambda: ServeClient(f"http://{host}:{port}", timeout=120.0),
+            clients=baseline.get("clients", 8),
+            requests=baseline.get("requests_per_client", 3),
+            distinct=baseline.get("distinct_requests", 4),
+            max_refs=baseline.get("max_refs", 20_000),
+        )
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=["profile", "serve"],
+        default=None,
+        help="check just one benchmark (default: both)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="relative band before a delta counts (default: 0.5 = ±50%%)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=".",
+        help="directory holding BENCH_*.json (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+    checks = []
+    if args.only in (None, "profile"):
+        checks.append(("BENCH_profile.json", fresh_profile, PROFILE_METRICS))
+    if args.only in (None, "serve"):
+        checks.append(("BENCH_serve.json", fresh_serve, SERVE_METRICS))
+
+    worst = 0
+    for filename, rerun, metrics in checks:
+        path = Path(args.baseline_dir) / filename
+        baseline = load_baseline(path)
+        if baseline is None:
+            worst = max(worst, 2)
+            continue
+        fresh = rerun(baseline)
+        if baseline.get("schema") != fresh.get("schema"):
+            print(
+                f"note: {filename} was written by "
+                f"{baseline.get('schema')!r}, current writer is "
+                f"{fresh.get('schema')!r} — comparing shared keys; "
+                f"regenerate the baseline to clear this."
+            )
+        rows = compare(baseline, fresh, metrics, args.tolerance)
+        print(render(filename, rows))
+        print()
+        if any(row["verdict"] == REGRESSION for row in rows):
+            worst = max(worst, 1)
+    if worst == 1:
+        print(
+            f"regression beyond ±{args.tolerance:.0%}: see the rows "
+            "marked REGRESSION above (non-blocking in CI; investigate "
+            "or regenerate the baselines)."
+        )
+    elif worst == 0:
+        print(f"all benchmark metrics within ±{args.tolerance:.0%} of baseline")
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

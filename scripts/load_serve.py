@@ -16,10 +16,14 @@ coalescer as well as the request path: with C clients and D distinct
 requests, at most D simulations ever run per wave no matter how large C
 is.
 
-The summary (p50/p99 end-to-end latency, throughput, coalescing hit
+The summary (p50/p95/p99 end-to-end latency, throughput, coalescing hit
 rate scraped from ``/metrics``) prints to stdout and is written to
 ``BENCH_serve.json`` — the committed baseline tracked by
-``benchmarks/test_bench_serve.py``.
+``benchmarks/test_bench_serve.py``. Percentiles use the interpolated
+estimator shared with the metrics registry's histogram snapshots
+(:func:`repro.obs.hist.percentile_interpolated`): nearest-rank p99
+degenerates to the max at these sample counts, which made the committed
+baseline needlessly twitchy.
 """
 
 from __future__ import annotations
@@ -32,10 +36,10 @@ import threading
 import time
 from pathlib import Path
 
-from repro.obs.registry import percentile
+from repro.obs.hist import percentile_interpolated
 from repro.serve.client import ServeClient
 
-SCHEMA = "repro.bench-serve/v1"
+SCHEMA = "repro.bench-serve/v2"
 
 
 def run_load(
@@ -103,8 +107,9 @@ def run_load(
         "throughput_rps": completed / elapsed if elapsed else 0.0,
         "latency_s": {
             "mean": sum(samples) / completed,
-            "p50": percentile(samples, 50),
-            "p99": percentile(samples, 99),
+            "p50": percentile_interpolated(samples, 50),
+            "p95": percentile_interpolated(samples, 95),
+            "p99": percentile_interpolated(samples, 99),
             "max": max(samples),
         },
         "coalescing": {
@@ -131,6 +136,7 @@ def render(summary: dict) -> str:
             f"{summary['elapsed_s']:.2f}s "
             f"({summary['throughput_rps']:.1f} req/s)",
             f"latency:     p50 {latency['p50'] * 1000:.1f}ms  "
+            f"p95 {latency['p95'] * 1000:.1f}ms  "
             f"p99 {latency['p99'] * 1000:.1f}ms  "
             f"max {latency['max'] * 1000:.1f}ms",
             f"coalescing:  {coalescing['coalesced']:.0f} of "

@@ -35,10 +35,17 @@ Commands
     Submit one request to a running server (``--server`` or
     ``$REPRO_SERVER``), wait for completion, and print the result —
     byte-identical to running the equivalent command locally.
+``spans PATH``
+    Analyse a span log written by ``--trace-spans``: indented tree view
+    with total/self times (default), ``--critical-path`` for the chain
+    that determined end-to-end latency, ``--folded`` for flamegraph/
+    speedscope input, ``--job ID``/``--trace ID`` to select one trace.
 
 Every simulation command also accepts the observability flags
-``--verbose`` (structured event logging on stderr) and
-``--trace-events PATH`` (JSONL event export); see docs/observability.md.
+``--verbose`` (structured event logging on stderr),
+``--trace-events PATH`` (JSONL event export), and ``--trace-spans PATH``
+(request-scoped timing spans, analysed with ``repro spans``); see
+docs/observability.md.
 ``experiment``, ``simulate``, and ``profile`` additionally take
 ``--engine {auto,scalar,vector}`` to pin the simulation engine (see
 docs/performance.md); the ``bench_cache``/``bench_mtc``/``bench_sweep``
@@ -190,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write simulation events as JSONL to PATH",
+    )
+    obs_flags.add_argument(
+        "--trace-spans",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write request-scoped timing spans as JSONL to PATH "
+            "(analyse with `repro spans`; see docs/observability.md)"
+        ),
     )
 
     # Engine selection shared by the simulation-heavy commands.
@@ -393,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="structured event logging on stderr (the server owns the obs "
         "facade; --trace-events is not supported here)",
     )
+    serve.add_argument(
+        "--trace-spans",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write per-request spans (serve -> queue -> pool -> engine) "
+            "as JSONL to PATH; analyse with `repro spans`"
+        ),
+    )
 
     server_flags = argparse.ArgumentParser(add_help=False)
     server_flags.add_argument(
@@ -455,6 +480,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(ENGINE_CHOICES),
         default=None,
         help="simulation engine for the served run",
+    )
+
+    spans = sub.add_parser(
+        "spans",
+        help="analyse a span log written by --trace-spans "
+        "(tree, critical path, folded stacks)",
+    )
+    spans.add_argument(
+        "log",
+        metavar="PATH",
+        help="span JSONL log produced by --trace-spans",
+    )
+    select = spans.add_mutually_exclusive_group()
+    select.add_argument(
+        "--job",
+        metavar="ID",
+        default=None,
+        help="select the trace of one served job (matches the "
+        "serve.request root's job attribute; prefixes accepted)",
+    )
+    select.add_argument(
+        "--trace",
+        metavar="ID",
+        default=None,
+        help="select one trace by id",
+    )
+    spans.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print only the critical path (longest chain to the last "
+        "finishing leaf) instead of the full tree",
+    )
+    spans.add_argument(
+        "--folded",
+        action="store_true",
+        help="emit folded stacks (`a;b;c <self-µs>`) for flamegraph.pl "
+        "or speedscope instead of the tree view",
     )
 
     return parser
@@ -626,6 +688,7 @@ def _cmd_serve(args) -> int:
         cache_dir=cache_dir,
         retry=_retry_policy(args),
         verbose=args.verbose,
+        trace_spans=args.trace_spans,
     )
     return SimulationServer(config).run()
 
@@ -657,6 +720,39 @@ def _cmd_submit(args, out) -> None:
     note = " (coalesced)" if record.get("coalesced") else ""
     print(f"job {record['job']}: done{note}", file=sys.stderr)
     out.write(record["result"]["output"])
+
+
+def _cmd_spans(args, out) -> None:
+    from repro.obs.spans import (
+        build_trees,
+        folded_stacks,
+        read_spans,
+        render_critical_path,
+        render_tree,
+        select_trace,
+    )
+
+    roots = build_trees(read_spans(args.log))
+    if not roots:
+        raise ConfigurationError(f"span log {args.log!r} contains no spans")
+    if args.job is not None or args.trace is not None:
+        roots = [select_trace(roots, trace=args.trace, job=args.job)]
+    if args.folded:
+        for line in folded_stacks(roots):
+            print(line, file=out)
+        return
+    for index, root in enumerate(roots):
+        if index:
+            print(file=out)
+        if args.critical_path:
+            print(render_critical_path(root), file=out)
+            continue
+        print(render_tree(root), file=out)
+        if args.job is not None:
+            # The question behind --job is almost always "where did the
+            # time go?", so the critical path rides along with the tree.
+            print(file=out)
+            print(render_critical_path(root), file=out)
 
 
 def _cmd_stats(args, out) -> None:
@@ -711,6 +807,31 @@ def _configure_observability(args) -> bool:
     return True
 
 
+def _configure_tracing(args) -> bool:
+    """Enable span tracing when ``--trace-spans`` was given.
+
+    Returns True when the tracer was armed (the caller must deactivate
+    it again so the process-wide ``TRACER`` returns to its zero-overhead
+    default). ``serve`` is excluded for the same reason as observability:
+    the server configures the tracer for its own lifetime via
+    :class:`~repro.serve.server.ServeConfig`.
+    """
+    if getattr(args, "command", None) == "serve":
+        return False
+    path = getattr(args, "trace_spans", None)
+    if not path:
+        return False
+    from repro.obs import configure_tracing
+
+    try:
+        configure_tracing(path)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot open --trace-spans path {path!r}: {exc}"
+        ) from exc
+    return True
+
+
 def _engine_context(args):
     """Context manager pinning the engine when ``--engine`` was given.
 
@@ -754,11 +875,22 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     observing = False
+    tracing = False
     injecting = False
     try:
         observing = _configure_observability(args)
+        tracing = _configure_tracing(args)
         injecting = _configure_fault_injection(args)
         with _engine_context(args):
+            if tracing:
+                # One root span per invocation so local traces form a
+                # single tree, mirroring serve.request on the server.
+                from repro.obs import TRACER
+
+                with TRACER.span(
+                    f"cli.{args.command}", command=args.command
+                ):
+                    return _dispatch(args, out)
             return _dispatch(args, out)
     except RunInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
@@ -774,6 +906,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             from repro.exec.faults import configure_faults
 
             configure_faults(None)
+        if tracing:
+            from repro.obs import disable_tracing
+
+            disable_tracing()
         if observing:
             from repro import obs
 
@@ -799,4 +935,6 @@ def _dispatch(args, out) -> int:
         return _cmd_serve(args)
     elif args.command == "submit":
         _cmd_submit(args, out)
+    elif args.command == "spans":
+        _cmd_spans(args, out)
     return 0

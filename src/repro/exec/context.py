@@ -80,18 +80,26 @@ def configure_exec(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
     retry: RetryPolicy | None = None,
+    span_log: str | os.PathLike | None = None,
 ) -> ExecContext:
     """Set the process-wide execution context.
 
     *cache_dir* of ``None`` disables the result cache; pass
     :func:`default_cache_dir` (or any path) to enable it. *retry* of
     ``None`` keeps the default policy (bounded retries, no timeout).
+    *span_log* enables request-scoped span tracing
+    (:data:`repro.obs.TRACER`) into the given JSONL path — forked pool
+    workers inherit it, so the execution layer and span layer switch on
+    together at the same entry points.
     """
     from repro.exec.cache import ResultCache
+    from repro.obs.spans import TRACER
 
     EXEC.jobs = _validated_jobs(jobs)
     EXEC.cache = ResultCache(cache_dir) if cache_dir is not None else None
     EXEC.retry = retry if retry is not None else DEFAULT_RETRY
+    if span_log is not None:
+        TRACER.configure(os.fspath(span_log))
     return EXEC
 
 
@@ -101,10 +109,18 @@ def execution(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
     retry: RetryPolicy | None = None,
+    span_log: str | os.PathLike | None = None,
 ) -> Iterator[ExecContext]:
     """Temporarily reconfigure :data:`EXEC`, restoring the prior state."""
+    from repro.obs.spans import TRACER
+
     prev = (EXEC.jobs, EXEC.cache, EXEC.retry)
+    tracing_before = TRACER.enabled
     try:
-        yield configure_exec(jobs=jobs, cache_dir=cache_dir, retry=retry)
+        yield configure_exec(
+            jobs=jobs, cache_dir=cache_dir, retry=retry, span_log=span_log
+        )
     finally:
         EXEC.jobs, EXEC.cache, EXEC.retry = prev
+        if span_log is not None and not tracing_before:
+            TRACER.deactivate()

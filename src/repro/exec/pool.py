@@ -75,7 +75,7 @@ from repro.exec.resilience import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.obs import OBS, MetricsRegistry, NullSink
+from repro.obs import OBS, TRACER, MetricsRegistry, NullSink
 
 __all__ = ["Task", "run_tasks"]
 
@@ -87,6 +87,11 @@ class Task:
     *key* is the cache key material (canonical-JSON-able dict) or
     ``None`` for never-cached work; when a key is given the value must be
     JSON data. *label* is used for diagnostics and fault matching.
+    *trace* is an optional serialized span context (``{"trace", "span"}``)
+    naming this task's parent span; it rides to the worker process and is
+    re-hydrated there so worker-side spans keep their parent links. It is
+    **not** part of the cache key — identical work coalesces in the cache
+    regardless of which request traced it.
     """
 
     fn: Callable
@@ -94,6 +99,7 @@ class Task:
     kwargs: dict = field(default_factory=dict)
     key: dict | None = None
     label: str = ""
+    trace: dict | None = None
 
 
 @dataclass(slots=True)
@@ -119,14 +125,31 @@ def _worker_init() -> None:
     EXEC.jobs = 1
 
 
-def _invoke(fn, args, kwargs, label: str = ""):
+def _traced_call(fn, args, kwargs, label: str, trace: dict | None):
+    """Run the task body inside an ``exec.task`` span when tracing.
+
+    *trace* re-hydrates a parent context shipped across the process
+    boundary; without one the span chains onto the ambient context (the
+    in-process serial path inherits the caller's open span directly).
+    """
+    if not TRACER.enabled:
+        return fn(*args, **kwargs)
+    attrs = {"label": label} if label else {}
+    if trace is not None:
+        with TRACER.adopt(trace), TRACER.span("exec.task", **attrs):
+            return fn(*args, **kwargs)
+    with TRACER.span("exec.task", **attrs):
+        return fn(*args, **kwargs)
+
+
+def _invoke(fn, args, kwargs, label: str = "", trace: dict | None = None):
     """Worker-side call: fault hooks, timing, counter-delta capture."""
     if FAULTS.active:
         FAULTS.fire("task.delay", label)
         FAULTS.fire("worker.kill", label)
         FAULTS.fire("task.raise", label)
     start = time.perf_counter()
-    value = fn(*args, **kwargs)
+    value = _traced_call(fn, args, kwargs, label, trace)
     seconds = time.perf_counter() - start
     counters = None
     if OBS.enabled:
@@ -147,7 +170,7 @@ def _run_task_inline(task: Task):
         FAULTS.fire("worker.kill", task.label)
         FAULTS.fire("task.raise", task.label)
     start = time.perf_counter()
-    value = task.fn(*task.args, **task.kwargs)
+    value = _traced_call(task.fn, task.args, task.kwargs, task.label, task.trace)
     return value, time.perf_counter() - start
 
 
@@ -305,8 +328,10 @@ def _run_pool(
     observed: bool,
 ) -> None:
     # A forked child inherits any buffered sink output; flush first so
-    # worker exits cannot replay parent bytes into a shared file.
+    # worker exits cannot replay parent bytes into a shared file. Same
+    # for the span log (children then reopen their own handles).
     OBS.sink.flush()
+    TRACER.flush()
     context = multiprocessing.get_context("fork")
     remaining = list(pending)
     failures = dict.fromkeys(remaining, 0)
@@ -330,7 +355,8 @@ def _run_pool(
                 if failures[index]:
                     time.sleep(policy.backoff(task.label, failures[index]))
                 futures[index] = pool.submit(
-                    _invoke, task.fn, task.args, task.kwargs, task.label
+                    _invoke, task.fn, task.args, task.kwargs, task.label,
+                    task.trace,
                 )
             for position, index in enumerate(remaining):
                 task = tasks[index]
@@ -464,11 +490,34 @@ def run_tasks(
 
     resuming = cache is not None and read_checkpoint(cache) is not None
 
+    tracing = TRACER.enabled
+    if tracing:
+        # Pool workers cannot see this thread's ambient span context, so
+        # stamp it onto each task that was not given an explicit parent.
+        ambient = TRACER.current()
+        if ambient is not None:
+            for task in tasks:
+                if task.trace is None:
+                    task.trace = ambient
+
     pending: list[int] = []
     for index, task in enumerate(tasks):
         if cache is not None and task.key is not None:
+            lookup_start = time.time()
             value = cache.get(task.key)
-            if value is not MISS:
+            hit = value is not MISS
+            if observed:
+                OBS.hist("exec.cache.lookup.time", time.time() - lookup_start)
+            if tracing:
+                TRACER.emit_span(
+                    "exec.cache.lookup",
+                    lookup_start,
+                    time.time(),
+                    ctx=task.trace,
+                    hit=hit,
+                    label=task.label or None,
+                )
+            if hit:
                 results[index] = value
                 if observed:
                     OBS.count("exec.cache.hit")

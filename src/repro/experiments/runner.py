@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
-from repro.obs import OBS
+from repro.obs import OBS, TRACER
 from repro.util import format_size, powers_of_two, require_power_of_two
 from repro.workloads.base import DEFAULT_SCALE, SyntheticWorkload
 
@@ -173,7 +173,15 @@ def _measure_row(
     """
     if hasattr(measure, "measure_row"):
         start = time.perf_counter()
-        values = _row_values(measure, workload, simulated_sizes)
+        if TRACER.enabled:
+            with TRACER.span(
+                "sweep.row",
+                workload=workload.name,
+                sizes=len(simulated_sizes),
+            ):
+                values = _row_values(measure, workload, simulated_sizes)
+        else:
+            values = _row_values(measure, workload, simulated_sizes)
         elapsed = time.perf_counter() - start
         return {
             "values": values,
@@ -184,7 +192,13 @@ def _measure_row(
     seconds: list[float] = []
     for simulated in simulated_sizes:
         start = time.perf_counter()
-        values.append(measure(workload, simulated))
+        if TRACER.enabled:
+            with TRACER.span(
+                "sweep.cell", workload=workload.name, simulated_size=simulated
+            ):
+                values.append(measure(workload, simulated))
+        else:
+            values.append(measure(workload, simulated))
         seconds.append(time.perf_counter() - start)
     return {"values": values, "seconds": seconds, "row_seconds": None}
 
@@ -207,7 +221,15 @@ def _evaluate_serial(
             if row_capable and plan:
                 simulated_sizes = [simulated for _, _, simulated in plan]
                 start = time.perf_counter()
-                values = _row_values(measure, workload, simulated_sizes)
+                if TRACER.enabled:
+                    with TRACER.span(
+                        "sweep.row",
+                        workload=workload.name,
+                        sizes=len(simulated_sizes),
+                    ):
+                        values = _row_values(measure, workload, simulated_sizes)
+                else:
+                    values = _row_values(measure, workload, simulated_sizes)
                 elapsed = time.perf_counter() - start
                 for (column, paper_size, simulated), value in zip(plan, values):
                     row[column] = value
@@ -226,11 +248,22 @@ def _evaluate_serial(
                 rows.append(row)
                 continue
             for column, paper_size, simulated in plan:
-                if not observed:
+                if not (observed or TRACER.enabled):
                     row[column] = measure(workload, simulated)
                     continue
                 start = time.perf_counter()
-                value = measure(workload, simulated)
+                if TRACER.enabled:
+                    with TRACER.span(
+                        "sweep.cell",
+                        workload=workload.name,
+                        simulated_size=simulated,
+                    ):
+                        value = measure(workload, simulated)
+                else:
+                    value = measure(workload, simulated)
+                if not observed:
+                    row[column] = value
+                    continue
                 OBS.observe("sweep.measure", time.perf_counter() - start)
                 OBS.count("sweep.cells")
                 OBS.emit(

@@ -18,6 +18,7 @@ where the masks are trivially single bits).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +26,7 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.exec.faults import FAULTS
 from repro.mem.policies import ReplacementPolicy, make_policy
-from repro.obs import OBS
+from repro.obs import OBS, TRACER
 from repro.trace.model import MemTrace, WORD_BYTES
 from repro.util import format_size, require_power_of_two
 
@@ -429,6 +430,7 @@ class Cache:
             )
         from repro.mem import engines
 
+        started = time.time()
         selection = engines.resolve_engine(engine)
         if selection != "scalar":
             result = engines.dispatch_cache(
@@ -440,7 +442,7 @@ class Cache:
             )
             if result is not None:
                 self.stats = result
-                self._record_run(trace)
+                self._record_run(trace, engine=selection, started=started)
                 return self.stats
         if self._policy.needs_future:
             self._policy.prepare(trace.addresses // self.config.block_bytes)
@@ -451,7 +453,7 @@ class Cache:
             access(address, write)
         if flush:
             self.flush()
-        self._record_run(trace)
+        self._record_run(trace, engine="scalar", started=started)
         return self.stats
 
     def simulate_chunked(
@@ -492,18 +494,50 @@ class Cache:
         for position, chunk in enumerate(chunks):
             if FAULTS.active:
                 FAULTS.fire("sim.chunk", f"{chunk.name}:{position}")
+            timed = OBS.enabled or TRACER.enabled
+            chunk_started = time.time() if timed else 0.0
             for address, write in zip(
                 chunk.addresses.tolist(), chunk.is_write.tolist()
             ):
                 access(address, write)
+            if timed:
+                if OBS.enabled:
+                    OBS.hist("sim.chunk.time", time.time() - chunk_started)
+                if TRACER.enabled:
+                    TRACER.emit_span(
+                        "sim.chunk",
+                        chunk_started,
+                        time.time(),
+                        chunk=chunk.name,
+                        position=position,
+                        accesses=len(chunk.addresses),
+                    )
         if flush:
             self.flush()
         return self.stats
 
-    def _record_run(self, trace: MemTrace) -> None:
+    def _record_run(
+        self,
+        trace: MemTrace,
+        *,
+        engine: str = "scalar",
+        started: float | None = None,
+    ) -> None:
         """Aggregate one simulate() run into the instrumentation layer."""
+        if TRACER.enabled and started is not None:
+            TRACER.emit_span(
+                "sim.cache",
+                started,
+                time.time(),
+                engine=engine,
+                cache=self.config.name,
+                trace=trace.name,
+                accesses=self.stats.accesses,
+            )
         if not OBS.enabled:
             return
+        if started is not None:
+            OBS.hist(f"sim.cache.{engine}.time", time.time() - started)
         stats = self.stats
         OBS.count("cache.simulations")
         OBS.count("cache.accesses", stats.accesses)

@@ -39,6 +39,7 @@ benchmarks); ``vector`` demands a vector kernel and raises
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -54,7 +55,7 @@ from repro.mem.cache import (
 )
 from repro.mem.mtc import MTCConfig
 from repro.mem.policies import NEVER, compute_next_use
-from repro.obs import OBS
+from repro.obs import OBS, TRACER
 from repro.trace.model import MemTrace, WORD_BYTES
 
 __all__ = [
@@ -441,7 +442,10 @@ def simulate_cache_columns(
 
 
 def _record_family(
-    kind: str, trace: MemTrace, results: dict[int, CacheStats]
+    kind: str,
+    trace: MemTrace,
+    results: dict[int, CacheStats],
+    started: float | None = None,
 ) -> None:
     """Credit a family pass with the per-size simulations it replaced.
 
@@ -450,8 +454,19 @@ def _record_family(
     by wall-clock then reads as effective throughput, which is exactly
     the quantity the one-pass sweep is supposed to multiply.
     """
+    if TRACER.enabled and started is not None:
+        TRACER.emit_span(
+            "engine.family",
+            started,
+            time.time(),
+            family=kind,
+            trace=trace.name,
+            sizes=len(results),
+        )
     if not OBS.enabled:
         return
+    if started is not None:
+        OBS.hist(f"engine.family.{kind}.time", time.time() - started)
     OBS.count("cache.simulations", len(results))
     total = 0
     for stats in results.values():
@@ -492,6 +507,7 @@ def direct_mapped_family(
     results: dict[int, CacheStats] = {}
     if not sizes_bytes:
         return results
+    started = time.time()
     for size in sizes_bytes:
         # Validate every size eagerly (matches per-size construction).
         CacheConfig(size_bytes=size, block_bytes=block_bytes)
@@ -517,7 +533,7 @@ def direct_mapped_family(
         results[size] = _dm_stats_from_order(
             config, blocks, writes, order, trace, flush
         )
-    _record_family("direct-mapped", trace, results)
+    _record_family("direct-mapped", trace, results, started)
     return results
 
 
@@ -593,6 +609,7 @@ def fully_associative_lru_family(
     """
     from repro.trace.mrc import traffic_curve
 
+    started = time.time()
     for size in sizes_bytes:
         CacheConfig.fully_associative(size, block_bytes)
     curve = traffic_curve(trace, block_bytes=block_bytes)
@@ -600,7 +617,7 @@ def fully_associative_lru_family(
         size: curve.stats_at(size // block_bytes, flush=flush)
         for size in sizes_bytes
     }
-    _record_family("fully-associative-lru", trace, results)
+    _record_family("fully-associative-lru", trace, results, started)
     return results
 
 

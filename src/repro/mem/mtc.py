@@ -22,12 +22,13 @@ exact minimum (Section 5.2 makes the same simplification).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.mem.cache import AllocatePolicy, CacheStats
 from repro.mem.policies import NEVER, compute_next_use
-from repro.obs import OBS
+from repro.obs import OBS, TRACER
 from repro.trace.model import MemTrace, WORD_BYTES
 from repro.util import format_size, require_power_of_two
 
@@ -99,6 +100,7 @@ class MinimalTrafficCache:
 
         from repro.mem import engines
 
+        started = time.time()
         selection = engines.resolve_engine(engine)
         if selection != "scalar":
             reason = engines.mtc_fast_supported(self.config)
@@ -106,7 +108,7 @@ class MinimalTrafficCache:
                 self.stats = engines.simulate_mtc_fast(
                     self.config, trace, flush=flush, prepared=prepared
                 )
-                self._record(trace)
+                self._record(trace, engine="fast", started=started)
                 return self.stats
             if selection == "vector":
                 raise ConfigurationError(
@@ -227,13 +229,30 @@ class MinimalTrafficCache:
                         flushed += block_bytes
             stats.flush_writeback_bytes = flushed
 
-        self._record(trace)
+        self._record(trace, engine="scalar", started=started)
         return stats
 
-    def _record(self, trace: MemTrace) -> None:
+    def _record(
+        self,
+        trace: MemTrace,
+        *,
+        engine: str = "scalar",
+        started: float | None = None,
+    ) -> None:
         """Aggregate one simulate() run into the instrumentation layer."""
+        if TRACER.enabled and started is not None:
+            TRACER.emit_span(
+                "sim.mtc",
+                started,
+                time.time(),
+                engine=engine,
+                trace=trace.name,
+                accesses=self.stats.accesses,
+            )
         if not OBS.enabled:
             return
+        if started is not None:
+            OBS.hist(f"sim.mtc.{engine}.time", time.time() - started)
         stats = self.stats
         OBS.count("mtc.simulations")
         OBS.count("mtc.accesses", stats.accesses)

@@ -1,11 +1,16 @@
-"""repro.obs — instrumentation layer: metrics, event tracing, profiling.
+"""repro.obs — instrumentation layer: metrics, events, spans, profiling.
 
-The layer has three pieces:
+The layer has five pieces:
 
 * :mod:`repro.obs.registry` — aggregate metrics (counters, gauges, timers
-  with percentile summaries);
+  with percentile summaries, fixed-bucket latency histograms);
+* :mod:`repro.obs.hist` — the histogram type and interpolated-percentile
+  helper shared by timers, benches, and span analysis;
 * :mod:`repro.obs.events` — structured event sinks (JSONL spans/events,
   stderr structured logging, a no-op default);
+* :mod:`repro.obs.spans` — request-scoped tracing (:data:`TRACER`):
+  trace/span ids propagated serve → scheduler → pool worker → engine,
+  logged as JSONL with parent links for ``repro spans`` analysis;
 * :mod:`repro.obs.profiler` — the experiment profiling harness behind
   ``python -m repro profile`` and ``BENCH_profile.json``.
 
@@ -42,7 +47,19 @@ from repro.obs.events import (
     NullSink,
     StderrSink,
 )
+from repro.obs.hist import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    percentile_interpolated,
+)
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, Timer, percentile
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    TRACER,
+    SpanTracer,
+    configure_tracing,
+    disable_tracing,
+)
 
 __all__ = [
     "OBS",
@@ -51,16 +68,24 @@ __all__ = [
     "Counter",
     "Gauge",
     "Timer",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
     "percentile",
+    "percentile_interpolated",
     "EventSink",
     "NullSink",
     "MemorySink",
     "JsonlSink",
     "StderrSink",
     "MultiSink",
+    "TRACER",
+    "SpanTracer",
+    "SPAN_SCHEMA",
     "configure",
     "disable",
     "instrumented",
+    "configure_tracing",
+    "disable_tracing",
 ]
 
 
@@ -99,6 +124,15 @@ class Instrumentation:
     def observe(self, name: str, seconds: float) -> None:
         if self.enabled:
             self.registry.timer(name).observe(seconds)
+
+    def hist(self, name: str, seconds: float) -> None:
+        """Record *seconds* into the fixed-bucket histogram *name*.
+
+        Prefer this over :meth:`observe` for long-lived processes (the
+        server): memory stays O(buckets) however many samples arrive.
+        """
+        if self.enabled:
+            self.registry.histogram(name).observe(seconds)
 
     # -- events ------------------------------------------------------------------
 

@@ -8,10 +8,10 @@ and written as machine-readable JSON (``BENCH_profile.json``) by
 trajectory: each committed baseline lets a later PR prove a hot path got
 faster (or catch that it got slower).
 
-Schema ``repro.profile/v1``::
+Schema ``repro.profile/v2``::
 
     {
-      "schema": "repro.profile/v1",
+      "schema": "repro.profile/v2",
       "experiment": "table2",
       "max_refs": 5000,
       "engine": "auto",              # resolved engine selection
@@ -24,8 +24,16 @@ Schema ``repro.profile/v1``::
       "counters": {...},             # deterministic under a fixed seed
       "timers": {...},               # percentile summaries, wall clock
       "gauges": {...},               # e.g. exec.jobs for parallel runs
+      "histograms": {...},           # fixed-bucket latency snapshots
       "python": "3.12.3"
     }
+
+v2 over v1: the ``timers`` table is now guaranteed non-empty — each
+profiled stage records a ``profile.stage.<name>`` registry timer (v1
+only ever saw timers from the pool path, so serial profiles wrote an
+empty ``{}``); timer summaries gained an interpolated ``p95_s``; and
+``histograms`` carries the fixed-bucket latency snapshots the
+instrumented engines record (``sim.cache.<engine>.time`` etc.).
 
 Profiled runs never use the execution layer's result cache — a profile
 must measure real simulation work, not disk reads — but they do honour
@@ -56,7 +64,7 @@ __all__ = [
     "write_profile",
 ]
 
-PROFILE_SCHEMA = "repro.profile/v1"
+PROFILE_SCHEMA = "repro.profile/v2"
 
 #: Counters summed into the profile's simulated-reference throughput.
 _REFERENCE_COUNTERS = ("cache.accesses", "mtc.accesses")
@@ -91,6 +99,7 @@ class RunProfile:
     counters: dict[str, int]
     timers: dict[str, dict[str, float]] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
     engine: str = "auto"
 
     @property
@@ -130,6 +139,7 @@ class RunProfile:
             "counters": self.counters,
             "timers": self.timers,
             "gauges": self.gauges,
+            "histograms": self.histograms,
             "python": platform.python_version(),
         }
 
@@ -176,10 +186,14 @@ def profile_experiment(
             start = time.perf_counter()
             before = simulated_references()
             result = fn()
+            seconds = time.perf_counter() - start
+            # The same duration also lands in a registry timer so the
+            # machine-readable profile's "timers" table is never empty.
+            OBS.observe(f"profile.stage.{stage_name}", seconds)
             stages.append(
                 StageTiming(
                     stage_name,
-                    time.perf_counter() - start,
+                    seconds,
                     references=simulated_references() - before,
                 )
             )
@@ -206,6 +220,7 @@ def profile_experiment(
         counters=snapshot["counters"],
         timers=snapshot["timers"],
         gauges=snapshot["gauges"],
+        histograms=snapshot["histograms"],
         engine=engines.resolve_engine(),
     )
     return profile, rendered

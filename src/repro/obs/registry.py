@@ -1,4 +1,4 @@
-"""Metrics registry: counters, gauges, and timers with percentile summaries.
+"""Metrics registry: counters, gauges, timers, and latency histograms.
 
 The registry is the *aggregate* half of the observability layer (the
 per-event half lives in :mod:`repro.obs.events`). Simulators increment
@@ -7,6 +7,21 @@ snapshotted into a plain ``dict`` that is stable under a fixed seed —
 counter and gauge values are deterministic; timer *durations* are wall
 clock and therefore excluded from determinism guarantees (only their
 sample counts are deterministic).
+
+Four instrument kinds share one namespace:
+
+* :class:`Counter` — monotonically increasing integers;
+* :class:`Gauge` — last-value-wins floats;
+* :class:`Timer` — keeps every sample, summarised with exact
+  interpolated percentiles (suits bounded runs like one experiment);
+* :class:`~repro.obs.hist.Histogram` — fixed buckets, O(1) per
+  observation forever (suits a server that never restarts: queue waits,
+  service times, per-engine-stage durations).
+
+The registry is thread-safe for the serve layer's access pattern: the
+scheduler thread updates counters and histograms while the asyncio event
+loop renders ``/metrics`` (:meth:`MetricsRegistry.exposition`) and
+``/healthz`` concurrently.
 
 Metric naming convention: dotted lowercase paths, ``<layer>.<what>``
 (``cache.accesses``, ``bus.l2_mem.busy_cycles``, ``core.mispredictions``).
@@ -17,17 +32,21 @@ Instrument names are created on first use; reading an absent metric via
 from __future__ import annotations
 
 import math
+import threading
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.hist import Histogram, percentile_interpolated
 
 __all__ = [
     "Counter",
     "Gauge",
     "Timer",
+    "Histogram",
     "MetricsRegistry",
     "percentile",
+    "percentile_interpolated",
 ]
 
 
@@ -49,16 +68,23 @@ def percentile(samples: Iterable[float], q: float) -> float:
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric.
 
-    __slots__ = ("name", "value")
+    ``inc`` is thread-safe: a read-modify-write on an attribute is not
+    atomic under the interpreter, and the serve layer increments from
+    both the event loop and the scheduler thread.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
@@ -112,16 +138,23 @@ class Timer:
         return sum(self.samples)
 
     def summary(self) -> dict[str, float]:
-        """count/total/mean/p50/p90/p99/max of the observed samples."""
+        """count/total/mean/p50/p90/p95/p99/max of the observed samples.
+
+        Percentiles are linearly interpolated
+        (:func:`~repro.obs.hist.percentile_interpolated`): nearest-rank
+        p99 collapses onto the max for small sample counts, which made
+        bench reports claim ``p99 == max`` on 40-sample runs.
+        """
         if not self.samples:
             return {"count": 0, "total_s": 0.0}
         return {
             "count": self.count,
             "total_s": self.total_seconds,
             "mean_s": self.total_seconds / self.count,
-            "p50_s": percentile(self.samples, 50),
-            "p90_s": percentile(self.samples, 90),
-            "p99_s": percentile(self.samples, 99),
+            "p50_s": percentile_interpolated(self.samples, 50),
+            "p90_s": percentile_interpolated(self.samples, 90),
+            "p95_s": percentile_interpolated(self.samples, 95),
+            "p99_s": percentile_interpolated(self.samples, 99),
             "max_s": max(self.samples),
         }
 
@@ -145,39 +178,76 @@ class _TimerContext:
 
 
 class MetricsRegistry:
-    """Create-on-first-use store of named counters, gauges, and timers.
+    """Create-on-first-use store of counters, gauges, timers, histograms.
 
     Registries are cheap; the profiler builds a fresh one per run so that
     snapshots describe exactly one experiment. A name may hold only one
     instrument kind — asking for ``counter(n)`` after ``gauge(n)`` raises.
+
+    Instrument *creation* is serialised by one lock so two threads racing
+    on the same name get the same instance; snapshot/exposition copy the
+    name tables under that lock, then read instruments lock-free (each
+    instrument guards its own state where needed).
     """
 
-    __slots__ = ("_counters", "_gauges", "_timers")
+    __slots__ = ("_counters", "_gauges", "_timers", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         found = self._counters.get(name)
         if found is None:
-            self._check_free(name, self._gauges, self._timers)
-            found = self._counters[name] = Counter(name)
+            with self._lock:
+                found = self._counters.get(name)
+                if found is None:
+                    self._check_free(
+                        name, self._gauges, self._timers, self._histograms
+                    )
+                    found = self._counters[name] = Counter(name)
         return found
 
     def gauge(self, name: str) -> Gauge:
         found = self._gauges.get(name)
         if found is None:
-            self._check_free(name, self._counters, self._timers)
-            found = self._gauges[name] = Gauge(name)
+            with self._lock:
+                found = self._gauges.get(name)
+                if found is None:
+                    self._check_free(
+                        name, self._counters, self._timers, self._histograms
+                    )
+                    found = self._gauges[name] = Gauge(name)
         return found
 
     def timer(self, name: str) -> Timer:
         found = self._timers.get(name)
         if found is None:
-            self._check_free(name, self._counters, self._gauges)
-            found = self._timers[name] = Timer(name)
+            with self._lock:
+                found = self._timers.get(name)
+                if found is None:
+                    self._check_free(
+                        name, self._counters, self._gauges, self._histograms
+                    )
+                    found = self._timers[name] = Timer(name)
+        return found
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        """The fixed-bucket histogram *name*, created on first use."""
+        found = self._histograms.get(name)
+        if found is None:
+            with self._lock:
+                found = self._histograms.get(name)
+                if found is None:
+                    self._check_free(
+                        name, self._counters, self._gauges, self._timers
+                    )
+                    found = self._histograms[name] = Histogram(name, bounds)
         return found
 
     @staticmethod
@@ -188,34 +258,65 @@ class MetricsRegistry:
                     f"metric {name!r} already registered with a different kind"
                 )
 
+    def _tables(
+        self,
+    ) -> tuple[
+        dict[str, Counter],
+        dict[str, Gauge],
+        dict[str, Timer],
+        dict[str, Histogram],
+    ]:
+        """Consistent copies of the name tables (safe to iterate)."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._timers),
+                dict(self._histograms),
+            )
+
     def snapshot(self) -> dict[str, object]:
         """All metric values as one JSON-serialisable dict, sorted names."""
+        counters, gauges, timers, histograms = self._tables()
         return {
-            "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
-            },
-            "gauges": {
-                name: self._gauges[name].value for name in sorted(self._gauges)
-            },
-            "timers": {
-                name: self._timers[name].summary()
-                for name in sorted(self._timers)
+            "counters": {name: counters[name].value for name in sorted(counters)},
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "timers": {name: timers[name].summary() for name in sorted(timers)},
+            "histograms": {
+                name: histograms[name].snapshot() for name in sorted(histograms)
             },
         }
 
     def counter_values(self) -> dict[str, int]:
         """Just the counters — the deterministic part of a snapshot."""
-        return {name: self._counters[name].value for name in sorted(self._counters)}
+        counters = self._tables()[0]
+        return {name: counters[name].value for name in sorted(counters)}
+
+    @staticmethod
+    def _escape_name(name: str) -> str:
+        """Metric name made line-format-safe for :meth:`exposition`.
+
+        The format is ``<name> <value>``, one per line, parsed back with
+        ``rpartition(" ")`` — so a space, newline, or backslash in a
+        name would corrupt the stream. Escaped in that order:
+        ``\\`` → ``\\\\``, newline → ``\\n``, space → ``\\_``.
+        """
+        return (
+            name.replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace(" ", "\\_")
+        )
 
     def exposition(self) -> str:
         """The registry as a line-oriented text export (``GET /metrics``).
 
         One ``<name> <value>`` pair per line, grouped by instrument kind
         under ``#`` comment headers, names sorted within each group so
-        the output is diffable and greppable. Timers flatten their
-        summary into ``<name>.<stat>`` lines (``count`` first). Floats
-        render via ``repr`` so no precision is invented or dropped.
+        the output is diffable and greppable. Timers and histograms
+        flatten their summaries into ``<name>.<stat>`` lines (``count``
+        first). Floats render via ``repr`` so no precision is invented
+        or dropped; names are escaped per :meth:`_escape_name`. Safe to
+        call while other threads update instruments.
 
         >>> registry = MetricsRegistry()
         >>> registry.counter("serve.requests").inc(3)
@@ -223,35 +324,48 @@ class MetricsRegistry:
         # counters
         serve.requests 3
         """
+        counters, gauges, timers, histograms = self._tables()
         lines: list[str] = []
 
         def value_text(value: object) -> str:
             return repr(value) if isinstance(value, float) else str(value)
 
-        if self._counters:
+        def summary_lines(name: str, summary: dict[str, float]) -> None:
+            safe = self._escape_name(name)
+            for stat in sorted(summary, key=lambda s: (s != "count", s)):
+                lines.append(f"{safe}.{stat} {value_text(summary[stat])}")
+
+        if counters:
             lines.append("# counters")
-            for name in sorted(self._counters):
-                lines.append(f"{name} {self._counters[name].value}")
-        if self._gauges:
+            for name in sorted(counters):
+                lines.append(f"{self._escape_name(name)} {counters[name].value}")
+        if gauges:
             lines.append("# gauges")
-            for name in sorted(self._gauges):
-                lines.append(f"{name} {value_text(self._gauges[name].value)}")
-        if self._timers:
+            for name in sorted(gauges):
+                lines.append(
+                    f"{self._escape_name(name)} {value_text(gauges[name].value)}"
+                )
+        if timers:
             lines.append("# timers")
-            for name in sorted(self._timers):
-                summary = self._timers[name].summary()
-                for stat in sorted(summary, key=lambda s: (s != "count", s)):
-                    lines.append(f"{name}.{stat} {value_text(summary[stat])}")
+            for name in sorted(timers):
+                summary_lines(name, timers[name].summary())
+        if histograms:
+            lines.append("# histograms")
+            for name in sorted(histograms):
+                summary_lines(name, histograms[name].snapshot())
         return "\n".join(lines)
 
     def reset(self) -> None:
         """Drop every instrument (names included)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._histograms.clear()
 
     def __repr__(self) -> str:
         return (
             f"<MetricsRegistry counters={len(self._counters)} "
-            f"gauges={len(self._gauges)} timers={len(self._timers)}>"
+            f"gauges={len(self._gauges)} timers={len(self._timers)} "
+            f"histograms={len(self._histograms)}>"
         )

@@ -64,6 +64,19 @@ class JobRecord:
     #: Wall-clock service time of the batch that completed the job
     #: (seconds); feeds the Retry-After estimate, never the result.
     service_seconds: float | None = None
+    #: Lifecycle timestamps (epoch seconds): set at admission, at batch
+    #: start, and when the job reaches a terminal state.
+    admitted_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Admission-to-batch-start wait (seconds), set by the scheduler.
+    queue_wait_s: float | None = None
+    #: Serialized span context of the job's ``serve.request`` root span
+    #: (``{"trace", "span"}``), threaded into the exec tasks; only set
+    #: when span tracing is enabled.
+    trace_ctx: dict | None = None
+    #: The open root :class:`repro.obs.spans.Span`, closed at terminal.
+    trace_span: object | None = None
 
     def describe(self) -> dict:
         """The job as the wire representation of ``GET /v1/jobs/<id>``."""
@@ -78,6 +91,20 @@ class JobRecord:
             body["result"] = self.result
         if self.error is not None:
             body["error"] = self.error
+        timings: dict = {}
+        if self.queue_wait_s is not None:
+            timings["queue_wait_s"] = self.queue_wait_s
+        if self.service_seconds is not None:
+            timings["service_s"] = self.service_seconds
+        if (
+            self.admitted_at is not None
+            and self.finished_at is not None
+        ):
+            timings["total_s"] = self.finished_at - self.admitted_at
+        if self.trace_ctx is not None:
+            timings["trace"] = self.trace_ctx.get("trace")
+        if timings:
+            body["timings"] = timings
         return body
 
 

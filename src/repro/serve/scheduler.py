@@ -32,7 +32,7 @@ import functools
 import time
 
 from repro.errors import RunInterrupted, TaskError
-from repro.obs import OBS
+from repro.obs import OBS, TRACER
 from repro.serve import jobs as jobs_module
 from repro.serve.admission import AdmissionQueue
 from repro.serve.jobs import CANCELLED, DONE, FAILED, RUNNING, JobRecord, JobTable
@@ -114,6 +114,8 @@ class Scheduler:
                 "type": "ServiceUnavailable",
                 "message": "server shut down before the job started",
             }
+            record.finished_at = time.time()
+            self._close_trace(record)
             self.cancelled += 1
             if OBS.enabled:
                 OBS.count("serve.jobs.cancelled")
@@ -123,8 +125,24 @@ class Scheduler:
     async def _run_batch(self, batch: list[JobRecord]) -> None:
         from repro.exec import Task, run_tasks
 
+        batch_start = time.time()
         for record in batch:
             record.state = RUNNING
+            record.started_at = batch_start
+            if record.admitted_at is not None:
+                record.queue_wait_s = batch_start - record.admitted_at
+                if OBS.enabled:
+                    OBS.hist("serve.queue.wait", record.queue_wait_s)
+                if TRACER.enabled and record.trace_ctx is not None:
+                    # Retroactive: the wait was only known once the batch
+                    # picked the job up, but the span's interval is real.
+                    TRACER.emit_span(
+                        "serve.queue",
+                        record.admitted_at,
+                        batch_start,
+                        ctx=record.trace_ctx,
+                        depth=len(batch),
+                    )
         self.inflight = len(batch)
         self._gauges()
 
@@ -134,6 +152,7 @@ class Scheduler:
                 args=(record.request,),
                 key=record.material if self.cache is not None else None,
                 label=f"{TASK_LABEL_PREFIX}{record.id}",
+                trace=record.trace_ctx,
             )
             for record in batch
         ]
@@ -158,14 +177,18 @@ class Scheduler:
         else:
             seconds = time.perf_counter() - start
             per_job = seconds / max(1, len(batch))
+            finished = time.time()
             for record, value in zip(batch, values):
                 record.result = value
                 record.state = DONE
                 record.service_seconds = per_job
+                record.finished_at = finished
                 self.queue.observe_service_time(per_job)
                 self._requeues.pop(record.id, None)
+                self._close_trace(record, end=finished)
                 if OBS.enabled:
                     OBS.count("serve.jobs.done")
+                    OBS.hist("serve.job.service", per_job)
             self.drained_batches += 1
             if OBS.enabled:
                 OBS.observe("serve.batch.time", seconds)
@@ -175,11 +198,22 @@ class Scheduler:
 
     # -- failure containment -------------------------------------------------------
 
+    @staticmethod
+    def _close_trace(record: JobRecord, end: float | None = None) -> None:
+        """Write the job's ``serve.request`` root span, exactly once."""
+        span = record.trace_span
+        if span is not None:
+            record.trace_span = None
+            span.attrs["state"] = record.state
+            TRACER.finish(span, end)
+
     def _fail(self, record: JobRecord, exc: BaseException) -> None:
         cause = exc.__cause__ if exc.__cause__ is not None else exc
         record.state = FAILED
         record.error = {"type": type(cause).__name__, "message": str(exc)}
+        record.finished_at = time.time()
         self._requeues.pop(record.id, None)
+        self._close_trace(record)
         if OBS.enabled:
             OBS.count("serve.jobs.failed")
 

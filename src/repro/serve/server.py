@@ -33,6 +33,7 @@ import json
 import signal
 import sys
 import threading
+import time
 from dataclasses import dataclass
 
 from repro import obs
@@ -43,7 +44,7 @@ from repro.errors import (
     ServeError,
     ServiceUnavailable,
 )
-from repro.obs import OBS
+from repro.obs import OBS, TRACER
 from repro.serve.admission import AdmissionQueue
 from repro.serve.jobs import JobRecord, JobTable
 from repro.serve.protocol import job_id, job_material, normalize_request
@@ -85,6 +86,9 @@ class ServeConfig:
     #: A :class:`repro.exec.RetryPolicy`, or ``None`` for the default.
     retry: object | None = None
     verbose: bool = False
+    #: JSONL span-log path; ``None`` (the default) disables request
+    #: tracing entirely (zero per-request overhead, identical output).
+    trace_spans: str | None = None
 
 
 def _json_bytes(payload: object) -> bytes:
@@ -213,12 +217,17 @@ class SimulationServer:
         prev = (OBS.registry, OBS.sink, OBS.enabled, OBS._seq)
         sink = obs.StderrSink() if self.config.verbose else None
         obs.configure(sink=sink)
+        tracing_before = TRACER.enabled
+        if self.config.trace_spans is not None:
+            TRACER.configure(self.config.trace_spans)
         try:
             return asyncio.run(self._main(install_signals))
         finally:
             if OBS.sink is not prev[1]:
                 OBS.sink.close()
             OBS.registry, OBS.sink, OBS.enabled, OBS._seq = prev
+            if self.config.trace_spans is not None and not tracing_before:
+                TRACER.deactivate()
 
     # -- connection handling -------------------------------------------------------
 
@@ -369,6 +378,16 @@ class SimulationServer:
             except AdmissionRejected:
                 self.table.discard(record)  # never admitted, never runs
                 raise
+            record.admitted_at = time.time()
+            if TRACER.enabled:
+                # The trace root: HTTP admission of this job. It stays
+                # open until the scheduler marks the job terminal; its
+                # ids are fixed now so every child span (queue wait,
+                # exec tasks in pool workers, engine stages) can link
+                # to it immediately.
+                span = TRACER.begin("serve.request", kind=kind, job=record.id)
+                record.trace_span = span
+                record.trace_ctx = span.context()
             if OBS.enabled:
                 OBS.count("serve.submitted")
             self.scheduler.notify()
@@ -404,6 +423,17 @@ class SimulationServer:
             "jobs": self.table.counts(),
             "cache": self.cache.stats().to_json() if self.cache else None,
         }
+        if OBS.enabled:
+            # Interpolated-percentile latency summaries (empty until the
+            # first batch runs; the histograms are created on demand).
+            payload["latency"] = {
+                "queue_wait": OBS.registry.histogram(
+                    "serve.queue.wait"
+                ).snapshot(),
+                "service": OBS.registry.histogram(
+                    "serve.job.service"
+                ).snapshot(),
+            }
         return _response(200, _json_bytes(payload), "application/json")
 
     def _metrics(self) -> bytes:

@@ -162,6 +162,63 @@ class TestObservabilityFlags:
         assert OBS.registry.counter_values() == {}
 
 
+class TestSpanTracingFlags:
+    SIMULATE = ("simulate", "Espresso", "--size", "4KB", "--max-refs", "5000")
+
+    def test_traced_output_byte_identical_and_tracer_restored(self, tmp_path):
+        from repro.obs import TRACER
+
+        plain = run_cli(*self.SIMULATE)
+        traced = run_cli(
+            *self.SIMULATE, "--trace-spans", str(tmp_path / "s.jsonl")
+        )
+        assert traced == plain
+        assert TRACER.enabled is False
+
+    def test_trace_spans_writes_one_rooted_tree(self, tmp_path):
+        from repro.obs.spans import build_trees, read_spans
+
+        log = tmp_path / "s.jsonl"
+        run_cli(*self.SIMULATE, "--trace-spans", str(log))
+        roots = build_trees(read_spans(str(log)))
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "cli.simulate"
+        assert root.attr("command") == "simulate"
+        names = set()
+
+        def walk(node):
+            names.add(node.name)
+            for child in node.children:
+                walk(child)
+
+        walk(root)
+        assert "sim.cache" in names  # the engine stage chained on
+
+    def test_spans_command_renders_the_log(self, tmp_path):
+        log = tmp_path / "s.jsonl"
+        run_cli(*self.SIMULATE, "--trace-spans", str(log))
+        text = run_cli("spans", str(log))
+        assert "trace " in text
+        assert "cli.simulate" in text
+        assert "total=" in text and "self=" in text
+        critical = run_cli("spans", str(log), "--critical-path")
+        assert "critical path of trace" in critical
+
+    def test_spans_command_rejects_missing_log(self, tmp_path, capsys):
+        code = main(["spans", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_trace_spans_path_rejected(self, tmp_path, capsys):
+        code = main(
+            ["stats", "Li", "--max-refs", "5000",
+             "--trace-spans", str(tmp_path / "no" / "dir" / "s.jsonl")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestProfileCommand:
     def test_profile_prints_and_writes_json(self, tmp_path):
         path = tmp_path / "BENCH_profile.json"
@@ -172,9 +229,11 @@ class TestProfileCommand:
         assert "refs/sec" in text
         assert "Table 2" in text  # the experiment's own output still shows
         data = json.loads(path.read_text())
-        assert data["schema"] == "repro.profile/v1"
+        assert data["schema"] == "repro.profile/v2"
         assert data["experiment"] == "table2"
         assert data["references"] > 0
+        # v2: per-stage registry timers mean "timers" is never empty.
+        assert data["timers"]["profile.stage.run"]["count"] == 1
 
     def test_profile_with_trace_events(self, tmp_path):
         profile_path = tmp_path / "profile.json"

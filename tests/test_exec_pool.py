@@ -74,6 +74,76 @@ class TestRunTasks:
         assert timers["exec.worker.time"]["count"] == 1
 
 
+class TestSpanPropagation:
+    def test_pool_workers_chain_onto_ambient_span(self, tmp_path):
+        import os
+
+        from repro.obs.spans import (
+            TRACER,
+            build_trees,
+            configure_tracing,
+            disable_tracing,
+            read_spans,
+        )
+
+        log = tmp_path / "spans.jsonl"
+        configure_tracing(str(log))
+        try:
+            with TRACER.span("root"):
+                run_tasks(
+                    [Task(fn=square, args=(n,), label=f"sq{n}")
+                     for n in range(4)],
+                    jobs=2,
+                )
+        finally:
+            disable_tracing()
+        (root,) = build_trees(read_spans(str(log)))
+        assert root.name == "root"
+        children = {
+            child.attr("label"): child
+            for child in root.children
+            if child.name == "exec.task"
+        }
+        assert set(children) == {"sq0", "sq1", "sq2", "sq3"}
+        # The tasks ran in forked workers, yet their spans parent onto
+        # this process's root: the context crossed the fork via pickle.
+        assert any(
+            child.record["pid"] != os.getpid()
+            for child in children.values()
+        )
+
+    def test_explicit_task_trace_beats_ambient(self, tmp_path):
+        from repro.obs.spans import (
+            TRACER,
+            build_trees,
+            configure_tracing,
+            disable_tracing,
+            read_spans,
+        )
+
+        log = tmp_path / "spans.jsonl"
+        configure_tracing(str(log))
+        try:
+            routed = TRACER.begin("request")
+            with TRACER.span("ambient"):
+                run_tasks(
+                    [Task(fn=square, args=(1,), trace=routed.context())]
+                )
+            TRACER.finish(routed)
+        finally:
+            disable_tracing()
+        roots = {root.name: root for root in build_trees(read_spans(str(log)))}
+        assert [child.name for child in roots["request"].children] == [
+            "exec.task"
+        ]
+        assert roots["ambient"].children == []
+
+    def test_disabled_tracer_leaves_tasks_unstamped(self):
+        tasks = [Task(fn=square, args=(2,))]
+        assert run_tasks(tasks) == [4]
+        assert tasks[0].trace is None
+
+
 class TestRunTasksWithCache:
     def test_cold_then_warm(self, tmp_path):
         cache = ResultCache(tmp_path / "c")

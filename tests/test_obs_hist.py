@@ -1,0 +1,124 @@
+"""Tests for interpolated percentiles and fixed-bucket histograms."""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.hist import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    percentile_interpolated,
+)
+
+
+class TestPercentileInterpolated:
+    def test_median_interpolates_between_samples(self):
+        assert percentile_interpolated([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_endpoints_are_min_and_max(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile_interpolated(samples, 0) == 1.0
+        assert percentile_interpolated(samples, 100) == 5.0
+
+    def test_p99_does_not_collapse_onto_max(self):
+        # The nearest-rank estimator returns the max here; interpolation
+        # lands between the top two order statistics.
+        samples = [float(n) for n in range(1, 41)]  # 40 samples, like the bench
+        p99 = percentile_interpolated(samples, 99)
+        assert 39.0 < p99 < 40.0
+
+    def test_single_sample(self):
+        assert percentile_interpolated([7.0], 99) == 7.0
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile_interpolated([4.0, 1.0, 3.0, 2.0], 50) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_interpolated([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_interpolated([1.0], 101)
+        with pytest.raises(ConfigurationError):
+            percentile_interpolated([1.0], -1)
+
+
+class TestDefaultBuckets:
+    def test_one_two_five_ladder(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(100.0)
+        assert 1e-3 in DEFAULT_LATENCY_BUCKETS
+        assert 2e-3 in DEFAULT_LATENCY_BUCKETS
+        assert 5e-3 in DEFAULT_LATENCY_BUCKETS
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestHistogram:
+    def test_observe_updates_aggregates(self):
+        hist = Histogram("h")
+        for seconds in (0.001, 0.002, 0.004):
+            hist.observe(seconds)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["total_s"] == pytest.approx(0.007)
+        assert snap["mean_s"] == pytest.approx(0.007 / 3)
+        assert snap["min_s"] == pytest.approx(0.001)
+        assert snap["max_s"] == pytest.approx(0.004)
+
+    def test_empty_snapshot(self):
+        assert Histogram("h").snapshot() == {"count": 0, "total_s": 0.0}
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram("h")
+        hist.observe(0.003)  # lone sample in the (0.002, 0.005] bucket
+        assert hist.quantile(50) == pytest.approx(0.003)
+        assert hist.quantile(99) == pytest.approx(0.003)
+
+    def test_quantile_orders_sensibly(self):
+        hist = Histogram("h")
+        for n in range(100):
+            hist.observe(0.0001 * (n + 1))  # 0.1ms .. 10ms
+        assert hist.quantile(50) <= hist.quantile(95) <= hist.quantile(99)
+        assert 0.003 < hist.quantile(50) < 0.008
+
+    def test_overflow_bucket_catches_huge_samples(self):
+        hist = Histogram("h", bounds=(0.1, 1.0))
+        hist.observe(50.0)
+        (_, one), (_, two), (bound, three) = hist.bucket_counts()
+        assert (one, two, three) == (0, 0, 1)
+        assert bound == math.inf
+        assert hist.quantile(99) == pytest.approx(50.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h").observe(-0.1)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(0.0, 1.0))
+
+    def test_quantile_of_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h").quantile(50)
+
+    def test_concurrent_observes_lose_nothing(self):
+        hist = Histogram("h")
+        threads = [
+            threading.Thread(
+                target=lambda: [hist.observe(0.001) for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.snapshot()["count"] == 8000
+        assert hist.snapshot()["total_s"] == pytest.approx(8.0)

@@ -1,5 +1,7 @@
 """Tests for the metrics registry (counters, gauges, timers, snapshots)."""
 
+import threading
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -59,7 +61,10 @@ class TestTimer:
         assert summary["count"] == 4
         assert summary["total_s"] == pytest.approx(1.0)
         assert summary["mean_s"] == pytest.approx(0.25)
-        assert summary["p50_s"] == pytest.approx(0.2)
+        # Interpolated (linear) percentiles: the p50 of {.1,.2,.3,.4}
+        # is the midpoint, not the nearest-rank sample.
+        assert summary["p50_s"] == pytest.approx(0.25)
+        assert summary["p95_s"] == pytest.approx(0.385)
         assert summary["max_s"] == pytest.approx(0.4)
 
     def test_empty_summary(self):
@@ -118,4 +123,145 @@ class TestMetricsRegistry:
             "counters": {},
             "gauges": {},
             "timers": {},
+            "histograms": {},
         }
+
+    def test_histogram_kind_shares_the_namespace(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        with pytest.raises(ConfigurationError):
+            registry.counter("h")
+        with pytest.raises(ConfigurationError):
+            registry.timer("h")
+
+    def test_histogram_snapshot_appears(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.003)
+        snap = registry.snapshot()
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestExposition:
+    def test_groups_and_sorted_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second").inc(2)
+        registry.counter("a.first").inc(1)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.5)
+        registry.histogram("h").observe(0.003)
+        text = registry.exposition()
+        lines = text.splitlines()
+        assert lines[0] == "# counters"
+        assert lines[1] == "a.first 1"
+        assert lines[2] == "b.second 2"
+        assert "# gauges" in lines and "# timers" in lines
+        assert "# histograms" in lines
+        # count leads each summary block; stats follow alphabetically.
+        timer_stats = [
+            line for line in lines if line.startswith("t.")
+        ]
+        assert timer_stats[0] == "t.count 1"
+        hist_stats = [line for line in lines if line.startswith("h.")]
+        assert hist_stats[0] == "h.count 1"
+
+    def test_deterministic_output_for_same_state(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("z").inc(3)
+            registry.counter("a").inc(1)
+            registry.gauge("m").set(2.0)
+            return registry.exposition()
+
+        assert build() == build()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().exposition() == ""
+
+    def test_name_escaping_keeps_lines_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("weird name").inc(2)
+        registry.counter("back\\slash").inc(3)
+        registry.counter("new\nline").inc(4)
+        text = registry.exposition()
+        lines = text.splitlines()
+        # One header plus one line per counter: newlines never leak.
+        assert len(lines) == 4
+        parsed = {}
+        for line in lines[1:]:
+            name, _, value = line.rpartition(" ")
+            parsed[name] = int(value)
+        assert parsed == {
+            "weird\\_name": 2,
+            "back\\\\slash": 3,
+            "new\\nline": 4,
+        }
+
+    def test_float_values_keep_full_precision(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(0.1 + 0.2)
+        assert f"g {(0.1 + 0.2)!r}" in registry.exposition()
+
+    def test_scrape_during_concurrent_updates(self):
+        """A /metrics render racing counter and histogram updates must
+        neither crash nor produce malformed lines."""
+        registry = MetricsRegistry()
+        errors: list[BaseException] = []
+
+        def writer(index: int) -> None:
+            try:
+                for _ in range(2000):
+                    registry.counter(f"c.{index}").inc()
+                    registry.histogram(f"h.{index}").observe(0.001)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(index,), daemon=True)
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        scrapes = 0
+        while scrapes < 20 or (
+            any(thread.is_alive() for thread in threads) and scrapes < 500
+        ):
+            scrapes += 1
+            for line in registry.exposition().splitlines():
+                if line.startswith("#"):
+                    continue
+                name, _, value = line.rpartition(" ")
+                assert name and value
+                float(value)  # every value parses as a number
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+    def test_concurrent_counter_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+
+        def bump() -> None:
+            for _ in range(10_000):
+                registry.counter("n").inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == 40_000
+
+    def test_racing_creation_yields_one_instance(self):
+        registry = MetricsRegistry()
+        instances = []
+        barrier = threading.Barrier(8)
+
+        def create() -> None:
+            barrier.wait()
+            instances.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, instances))) == 1

@@ -304,6 +304,154 @@ class TestIntrospection:
         assert metrics["serve.batch.time.count"] == 1
 
 
+class TestSpanTracing:
+    def test_served_job_yields_full_span_tree(self, tmp_path, monkeypatch):
+        """Acceptance: a served sweep's span tree roots at the HTTP
+        request and reaches per-stage engine spans inside pool worker
+        processes, parent links intact across the fork boundary."""
+        from repro.obs.spans import build_trees, read_spans, select_trace
+
+        # The nested experiment runs must do real engine work (cache
+        # misses), or the tree would stop at exec.cache.lookup.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "inner"))
+        log = tmp_path / "spans.jsonl"
+        with running_server(
+            trace_spans=str(log),
+            jobs=2,
+            cache_dir=str(tmp_path / "cache"),
+        ) as (server, client):
+            # A warmup job occupies the first batch; the next two jobs
+            # queue behind it and drain *together*, forcing the pool to
+            # fork (a single-task batch runs inline in the server).
+            warmup = client.submit_sweep(experiment="table2", max_refs=2000)
+            first = client.submit_sweep(experiment="table7", max_refs=2000)
+            second = client.submit_sweep(experiment="table8", max_refs=2000)
+            client.wait(warmup["job"], timeout=120)
+            client.wait(first["job"], timeout=120)
+            record = client.wait(second["job"], timeout=120)
+            server_pid = os.getpid()
+
+        roots = build_trees(read_spans(str(log)))
+        root = select_trace(roots, job=record["job"])
+        assert root.name == "serve.request"
+        assert root.attr("job") == record["job"]
+        assert root.attr("state") == "done"
+        assert root.record["pid"] == server_pid
+
+        names = set()
+        worker_pids = set()
+
+        def walk(node):
+            names.add(node.name)
+            if node.name == "exec.task":
+                worker_pids.add(node.record["pid"])
+            for child in node.children:
+                assert child.record["trace"] == root.trace_id
+                walk(child)
+
+        walk(root)
+        assert "serve.queue" in names
+        assert "exec.task" in names
+        # Engine-stage leaves ran inside the tree (the sweep experiments
+        # use the one-pass row families).
+        assert "sweep.row" in names or "sim.cache" in names
+        assert "engine.family" in names or "sim.mtc" in names
+        # At least one span was recorded by a process other than the
+        # server: the parent link survived pickling across the fork.
+        assert any(pid != server_pid for pid in worker_pids)
+
+    def test_job_timings_block(self, tmp_path):
+        log = tmp_path / "spans.jsonl"
+        with running_server(trace_spans=str(log)) as (_, client):
+            record = client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+        timings = record["timings"]
+        assert timings["queue_wait_s"] >= 0.0
+        assert timings["service_s"] > 0.0
+        assert timings["total_s"] >= timings["queue_wait_s"]
+        # The trace id lets an operator jump from the job record to
+        # `repro spans --trace <id>`.
+        from repro.obs.spans import build_trees, read_spans
+
+        assert timings["trace"] in {
+            root.trace_id for root in build_trees(read_spans(str(log)))
+        }
+
+    def test_timings_present_without_tracing(self):
+        with running_server() as (_, client):
+            record = client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+        timings = record["timings"]
+        assert timings["service_s"] > 0.0
+        assert "trace" not in timings  # no tracer, no trace id
+
+    def test_traced_result_is_byte_identical_to_untraced(self, tmp_path):
+        fields = {"workload": "Espresso", "size": "4KB", "max_refs": 5000}
+        with running_server(
+            trace_spans=str(tmp_path / "spans.jsonl")
+        ) as (_, client):
+            traced = client.run("simulate", fields, timeout=60)
+        with running_server() as (_, client):
+            plain = client.run("simulate", fields, timeout=60)
+        assert traced["result"]["output"] == plain["result"]["output"]
+
+    def test_tracer_restored_after_shutdown(self, tmp_path):
+        from repro.obs import TRACER
+
+        with running_server(trace_spans=str(tmp_path / "spans.jsonl")):
+            pass
+        assert TRACER.enabled is False
+
+    def test_healthz_latency_block(self, tmp_path):
+        with running_server() as (_, client):
+            client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+            health = client.healthz()
+        assert health["latency"]["queue_wait"]["count"] == 1
+        assert health["latency"]["service"]["count"] == 1
+        assert health["latency"]["service"]["p95_s"] > 0.0
+
+    def test_metrics_exposition_has_latency_histograms(self, tmp_path):
+        with running_server() as (_, client):
+            client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+            text = client.metrics_text()
+            metrics = client.metrics()
+        assert "# histograms" in text
+        assert metrics["serve.queue.wait.count"] == 1
+        assert metrics["serve.job.service.count"] == 1
+        assert metrics["serve.job.service.p99_s"] > 0.0
+
+    def test_spans_cli_renders_job_tree_and_critical_path(self, tmp_path):
+        log = tmp_path / "spans.jsonl"
+        with running_server(trace_spans=str(log)) as (_, client):
+            record = client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 5000},
+                timeout=60,
+            )
+        text = run_cli("spans", str(log), "--job", record["job"])
+        assert "serve.request" in text
+        assert f"job={record['job']}" in text
+        assert "critical path of trace" in text
+        folded = run_cli("spans", str(log), "--folded")
+        assert any(
+            line.startswith("serve.request") for line in folded.splitlines()
+        )
+
+
 class TestGracefulShutdown:
     def test_sigint_drains_and_exits_zero(self, tmp_path):
         cache_dir = tmp_path / "cache"
