@@ -47,9 +47,12 @@ Every simulation command also accepts the observability flags
 (request-scoped timing spans, analysed with ``repro spans``); see
 docs/observability.md.
 ``experiment``, ``simulate``, and ``profile`` additionally take
-``--engine {auto,scalar,vector}`` to pin the simulation engine (see
-docs/performance.md); the ``bench_cache``/``bench_mtc``/``bench_sweep``
-experiments time the scalar and vector engines against each other.
+``--engine {auto,scalar,vector,sampled}`` to pin the simulation engine
+and ``--sample-rate R``/``--sample-seed SEED`` to configure the sampled
+tier's spatial sample (see docs/performance.md); the
+``bench_cache``/``bench_mtc``/``bench_sweep`` experiments time the
+scalar and vector engines against each other, and ``bench_sampled``
+measures the sampled tier's speedup and error against exact runs.
 The ``experiment`` command additionally takes the execution-layer flags
 ``--jobs N`` (worker processes), ``--no-cache``, and ``--cache-dir PATH``
 (result caching is on by default, rooted at ``.repro-cache/``);
@@ -96,13 +99,14 @@ EXPERIMENT_MODULES = {
         "epin",
         "bench_cache",
         "bench_mtc",
+        "bench_sampled",
         "bench_sweep",
     )
 }
 
 #: Mirrors repro.mem.engines.ENGINE_CHOICES (kept literal so building the
 #: parser never imports numpy; a test pins the two in sync).
-ENGINE_CHOICES = ("auto", "scalar", "vector")
+ENGINE_CHOICES = ("auto", "scalar", "vector", "sampled")
 
 
 def positive_int(text: str) -> int:
@@ -141,6 +145,21 @@ def positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive number of seconds, got {value:g}"
+        )
+    return value
+
+
+def sample_rate(text: str) -> float:
+    """argparse type for ``--sample-rate``: a float in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a sampling rate, got {text!r}"
+        ) from exc
+    if not (0.0 < value <= 1.0):  # also rejects NaN
+        raise argparse.ArgumentTypeError(
+            f"sampling rate must be in (0, 1], got {text!r}"
         )
     return value
 
@@ -216,9 +235,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "simulation engine: auto picks per call, scalar forces the "
-            "reference loops, vector requires the fast kernels "
+            "reference loops, vector requires the fast kernels, sampled "
+            "estimates from a spatial reference sample with error bounds "
             "(default: $REPRO_ENGINE or auto)"
         ),
+    )
+    engine_flags.add_argument(
+        "--sample-rate",
+        type=sample_rate,
+        default=None,
+        metavar="R",
+        help=(
+            "spatial sampling rate in (0, 1] for the sampled engine "
+            "(default: $REPRO_SAMPLE_RATE or 0.01; under auto, a rate "
+            "opts huge traces into sampling)"
+        ),
+    )
+    engine_flags.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="hash seed for the spatial sample (default: $REPRO_SAMPLE_SEED or 0)",
     )
 
     # Fault-tolerance knobs shared by the sweep-running commands.
@@ -607,17 +645,43 @@ def _cmd_simulate(args, out) -> None:
         size_bytes=size, block_bytes=args.block, associativity=args.assoc
     )
     stats = Cache(config).simulate(trace)
+    envelope = stats.estimate
     print(f"workload: {trace.name} ({len(trace):,} refs)", file=out)
     print(f"cache:    {config.describe()}", file=out)
-    print(f"miss rate:      {stats.miss_rate:.4f}", file=out)
-    print(f"total traffic:  {stats.total_traffic_bytes:,} bytes", file=out)
-    print(f"traffic ratio:  {stats.traffic_ratio:.3f}", file=out)
+    if envelope is not None:
+        print(f"sampled:  {envelope.describe()}", file=out)
+        print(
+            f"miss rate:      {stats.miss_rate:.4f} "
+            f"± {envelope.miss_rate_half_width:.4f} (estimate)",
+            file=out,
+        )
+        print(
+            f"total traffic:  {stats.total_traffic_bytes:,} bytes (estimate)",
+            file=out,
+        )
+        print(
+            f"traffic ratio:  {stats.traffic_ratio:.3f} "
+            f"± {envelope.traffic_ratio_half_width:.3f} (estimate)",
+            file=out,
+        )
+    else:
+        print(f"miss rate:      {stats.miss_rate:.4f}", file=out)
+        print(f"total traffic:  {stats.total_traffic_bytes:,} bytes", file=out)
+        print(f"traffic ratio:  {stats.traffic_ratio:.3f}", file=out)
     if args.mtc:
         mtc = MinimalTrafficCache(MTCConfig(size_bytes=size))
         mtc_stats = mtc.simulate(trace)
         g = stats.total_traffic_bytes / mtc_stats.total_traffic_bytes
-        print(f"MTC traffic:    {mtc_stats.total_traffic_bytes:,} bytes", file=out)
-        print(f"inefficiency G: {g:.2f}", file=out)
+        mtc_envelope = mtc_stats.estimate
+        tag = " (estimate)" if mtc_envelope is not None else ""
+        print(
+            f"MTC traffic:    {mtc_stats.total_traffic_bytes:,} bytes{tag}",
+            file=out,
+        )
+        if envelope is not None or mtc_envelope is not None:
+            print(f"inefficiency G: {g:.2f} (estimate)", file=out)
+        else:
+            print(f"inefficiency G: {g:.2f}", file=out)
 
 
 def _cmd_decompose(args, out) -> None:
@@ -850,6 +914,40 @@ def _engine_context(args):
     return use_engine(engine)
 
 
+def _sampling_context(args):
+    """Context manager pinning the sampling parameters when flags ask.
+
+    Mirrors :func:`_engine_context`: with neither ``--sample-rate`` nor
+    ``--sample-seed`` the process default stays in charge
+    (``$REPRO_SAMPLE_RATE``/``$REPRO_SAMPLE_SEED`` or unconfigured) and
+    numpy is never imported just to parse the command line.
+    """
+    rate = getattr(args, "sample_rate", None)
+    seed = getattr(args, "sample_seed", None)
+    if (rate is None and seed is None) or getattr(
+        args, "command", None
+    ) == "submit":
+        import contextlib
+
+        return contextlib.nullcontext()
+    from repro.mem.sampled import (
+        DEFAULT_SAMPLE_RATE,
+        SamplingConfig,
+        current_sampling,
+        use_sampling,
+    )
+
+    base = current_sampling()
+    if rate is None:
+        rate = base.rate if base is not None else DEFAULT_SAMPLE_RATE
+    if seed is None:
+        seed = base.seed if base is not None else 0
+    strata = base.strata if base is not None else None
+    if strata is not None:
+        return use_sampling(SamplingConfig(rate, seed=seed, strata=strata))
+    return use_sampling(SamplingConfig(rate, seed=seed))
+
+
 def _configure_fault_injection(args) -> bool:
     """Arm the fault harness when ``--inject-fault``/``$REPRO_FAULTS`` ask.
 
@@ -881,7 +979,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         observing = _configure_observability(args)
         tracing = _configure_tracing(args)
         injecting = _configure_fault_injection(args)
-        with _engine_context(args):
+        with _engine_context(args), _sampling_context(args):
             if tracing:
                 # One root span per invocation so local traces form a
                 # single tree, mirroring serve.request on the server.

@@ -63,6 +63,7 @@ from repro.exec.faults import (
 from repro.exec.keys import (
     canonical_key,
     code_epoch,
+    sampling_key,
     stable_hash,
     try_canonical_key,
     workload_key,
@@ -97,6 +98,7 @@ __all__ = [
     "parse_fault_spec",
     "canonical_key",
     "code_epoch",
+    "sampling_key",
     "stable_hash",
     "try_canonical_key",
     "workload_key",

@@ -25,6 +25,7 @@ __all__ = [
     "stable_hash",
     "code_epoch",
     "workload_key",
+    "sampling_key",
 ]
 
 #: Memoized per-process code fingerprint (the source tree cannot change
@@ -88,6 +89,44 @@ def code_epoch() -> str:
             digest.update(b"\0")
         _EPOCH = digest.hexdigest()[:16]
     return _EPOCH
+
+
+def sampling_key() -> dict[str, object] | None:
+    """Key material isolating sampled-engine results from exact ones.
+
+    Exact engines are bit-identical, so cache keys never mention the
+    engine. Sampled runs produce *estimates* that depend on the rate,
+    seed, and stratum count — results from different sampling parameters
+    (or from exact runs) must never collide. Returns None whenever the
+    current configuration cannot sample (keys stay byte-identical to
+    historical exact keys); otherwise a dict of the sampling parameters.
+
+    Conservative by design: under ``auto`` with a configured rate the
+    decision to sample is per-trace-size, which key material cannot see,
+    so any configuration that *could* sample gets the sampled key — the
+    worst case is a cache miss on an exact result, never a wrong hit.
+
+    Imports lazily: key construction must stay numpy-free unless
+    sampling is actually in play.
+    """
+    from repro.mem import engines
+
+    selection = engines.current_engine()
+    if selection not in ("sampled", "auto"):
+        return None
+    from repro.mem import sampled
+
+    config = sampled.current_sampling()
+    if config is None:
+        if selection != "sampled":
+            return None
+        config = sampled.SamplingConfig(sampled.DEFAULT_SAMPLE_RATE)
+    return {
+        "engine": "sampled",
+        "rate": config.effective_rate,
+        "seed": config.seed,
+        "strata": config.strata,
+    }
 
 
 def workload_key(workload) -> dict[str, object]:

@@ -317,7 +317,14 @@ def evaluate_grid(
     _require_unique_row_names(workloads)
     plans = _plan_rows(workloads, axis, size_list, full)
 
-    from repro.exec import EXEC, Task, code_epoch, run_tasks, workload_key
+    from repro.exec import (
+        EXEC,
+        Task,
+        code_epoch,
+        run_tasks,
+        sampling_key,
+        workload_key,
+    )
 
     cache = EXEC.cache if cache_key is not None else None
     if EXEC.jobs == 1 and cache is None:
@@ -338,6 +345,11 @@ def evaluate_grid(
                 "sizes": simulated_sizes,
                 "measure": cache_key,
             }
+            # Sampled runs are estimates keyed by (rate, seed, strata);
+            # exact keys stay byte-identical to historical entries.
+            sampling = sampling_key()
+            if sampling is not None:
+                key["sampling"] = sampling
         tasks.append(
             Task(
                 fn=_measure_row,

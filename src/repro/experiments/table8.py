@@ -42,6 +42,9 @@ class Table8Result:
     #: Parallel grid of raw MTC traffic in bytes (reused by Figure 4).
     mtc_traffic: SweepResult
     cache_traffic: SweepResult
+    #: True when the MTC denominators are sampled-engine *estimates*
+    #: (see repro.mem.sampled); render() flags the table accordingly.
+    estimated: bool = False
 
 
 def measure_inefficiency_cell(
@@ -103,12 +106,20 @@ class InefficiencyMeasure:
         """
         from repro.mem import engines
 
-        if engines.resolve_engine() == "scalar":
+        selection = engines.resolve_engine()
+        if selection == "scalar":
             return [self(workload, size) for size in simulated_sizes]
         trace = self.trace_for(workload)
         sizes = list(simulated_sizes)
         family = engines.direct_mapped_family(trace, sizes, block_bytes=32)
-        prepared = engines.prepare_mtc(trace)
+        # The sampled MTC prepares its own (much smaller) sub-trace
+        # pass 1, so the shared full-trace pass would be wasted work.
+        sampling = None
+        if selection in ("sampled", "auto"):
+            from repro.mem import sampled
+
+            sampling = sampled.sampling_for(selection, len(trace))
+        prepared = engines.prepare_mtc(trace) if sampling is None else None
         row: list[list[float]] = []
         for size in sizes:
             cache_traffic = family[size].total_traffic_bytes
@@ -175,12 +186,24 @@ def run(
     )
     cache_traffic = view("cache traffic (bytes)", 1)
     mtc_traffic = view("MTC traffic (bytes)", 2)
+
+    from repro.exec import sampling_key
+
     return Table8Result(
-        sweep=sweep, mtc_traffic=mtc_traffic, cache_traffic=cache_traffic
+        sweep=sweep,
+        mtc_traffic=mtc_traffic,
+        cache_traffic=cache_traffic,
+        estimated=sampling_key() is not None,
     )
 
 
 def render(result: Table8Result) -> str:
     from repro.experiments.report import render_sweep
 
-    return render_sweep(result.sweep, decimals=1)
+    rendered = render_sweep(result.sweep, decimals=1)
+    if result.estimated:
+        rendered += (
+            "\n\nNote: MTC denominators are sampled-engine estimates "
+            "(see docs/performance.md for the error-bound contract)."
+        )
+    return rendered

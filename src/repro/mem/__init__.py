@@ -4,7 +4,9 @@ Trace-driven functional cache models (:mod:`repro.mem.cache`,
 :mod:`repro.mem.mtc`) reproduce the paper's DineroIII and minimal-traffic-
 cache measurements; :mod:`repro.mem.engines` holds their vectorized
 simulation kernels plus the process-wide engine selection
-(``auto``/``scalar``/``vector``); the timing-side memory system (:mod:`repro.mem.timing`
+(``auto``/``scalar``/``vector``/``sampled``); :mod:`repro.mem.sampled`
+is the sampled tier — spatial reference sampling with error envelopes
+for paper-scale traces; the timing-side memory system (:mod:`repro.mem.timing`
 — buses, MSHRs, prefetch) serves the execution-time decomposition
 experiments. Extension mechanisms from the paper's Sections 5.3/6 live in
 :mod:`repro.mem.bypass` (Tyson-style selective caching),
@@ -31,6 +33,13 @@ from repro.mem.engines import (
 )
 from repro.mem.hierarchy import HierarchyResult, TraceHierarchy
 from repro.mem.mtc import MinimalTrafficCache, MTCConfig
+from repro.mem.sampled import (
+    SamplingConfig,
+    SamplingEnvelope,
+    configure_sampling,
+    current_sampling,
+    use_sampling,
+)
 from repro.mem.bypass import BypassCache, BypassCacheConfig, bypass_benefit
 from repro.mem.compression import (
     BaseRegisterCache,
@@ -85,6 +94,11 @@ __all__ = [
     "direct_mapped_family",
     "fully_associative_lru_family",
     "prepare_mtc",
+    "SamplingConfig",
+    "SamplingEnvelope",
+    "configure_sampling",
+    "current_sampling",
+    "use_sampling",
     "TraceHierarchy",
     "HierarchyResult",
     "MinimalTrafficCache",

@@ -146,6 +146,9 @@ class CacheStats:
     writeback_bytes: int = 0       #: dirty evictions pushed below
     writethrough_bytes: int = 0    #: words written through to below
     flush_writeback_bytes: int = 0 #: dirty data written back at end of run
+    #: Error envelope when these stats are a sampled *estimate* (see
+    #: :class:`repro.mem.sampled.SamplingEnvelope`); None for exact runs.
+    estimate: object | None = None
 
     @property
     def hits(self) -> int:
@@ -192,7 +195,9 @@ class CacheStats:
         :meth:`Cache.simulate_chunked`, which carries cache state across
         chunk boundaries and flushes once; merging per-chunk
         ``simulate()`` results instead would flush (and count) every
-        chunk's dirty data at each boundary.
+        chunk's dirty data at each boundary. Sampling envelopes do not
+        combine, so the merged stats are always exact-shaped
+        (``estimate`` is None).
         """
         return CacheStats(
             accesses=self.accesses + other.accesses,
@@ -432,7 +437,29 @@ class Cache:
 
         started = time.time()
         selection = engines.resolve_engine(engine)
-        if selection != "scalar":
+        if selection in ("sampled", "auto"):
+            from repro.mem import sampled as sampled_engine
+
+            sampling = sampled_engine.sampling_for(selection, len(trace))
+            if sampling is not None:
+                reason = sampled_engine.cache_sampled_reason(
+                    self.config, self.listener
+                )
+                if reason is None:
+                    self.stats = sampled_engine.simulate_cache_sampled(
+                        self.config, trace, flush=flush, sampling=sampling
+                    )
+                    self._record_run(
+                        trace, engine="sampled", started=started
+                    )
+                    return self.stats
+                if selection == "sampled":
+                    raise ConfigurationError(
+                        f"no sampled engine for {self.config.describe()}: "
+                        f"{reason}"
+                    )
+                # auto: fall back to the exact engines below.
+        if selection not in ("scalar", "sampled"):
             result = engines.dispatch_cache(
                 self.config,
                 trace,

@@ -26,14 +26,18 @@ them to exact equality):
   stack-distance pass (:func:`repro.trace.mrc.traffic_curve`).
 
 Engine selection is a process-wide choice (``auto`` | ``scalar`` |
-``vector``) settable via :func:`set_engine`, the :func:`use_engine`
-context manager, the ``REPRO_ENGINE`` environment variable, or the CLI's
-``--engine`` flag. ``auto`` picks vector kernels when they are eligible
-and a simple cost model predicts a win; ``scalar`` forces the reference
-implementations (including disabling the long-standing direct-mapped
-fast path — this is the honest baseline for differential tests and
-benchmarks); ``vector`` demands a vector kernel and raises
-:class:`~repro.errors.ConfigurationError` where none exists.
+``vector`` | ``sampled``) settable via :func:`set_engine`, the
+:func:`use_engine` context manager, the ``REPRO_ENGINE`` environment
+variable, or the CLI's ``--engine`` flag. ``auto`` picks vector kernels
+when they are eligible and a simple cost model predicts a win; ``scalar``
+forces the reference implementations (including disabling the
+long-standing direct-mapped fast path — this is the honest baseline for
+differential tests and benchmarks); ``vector`` demands a vector kernel
+and raises :class:`~repro.errors.ConfigurationError` where none exists.
+``sampled`` is the third tier (:mod:`repro.mem.sampled`): spatial
+reference sampling producing *estimates with error envelopes* instead of
+exact counts — ``auto`` only ever picks it when a sampling rate was
+explicitly configured and the trace is huge.
 """
 
 from __future__ import annotations
@@ -75,7 +79,7 @@ __all__ = [
 ]
 
 #: Valid values for the process-wide engine selection.
-ENGINE_CHOICES = ("auto", "scalar", "vector")
+ENGINE_CHOICES = ("auto", "scalar", "vector", "sampled")
 
 #: Word masks fit one int64 (bit 63 is the sign), so write-validate's
 #: per-word valid/dirty masks vectorize only up to this many words.
@@ -200,9 +204,11 @@ def dispatch_cache(
 ) -> CacheStats | None:
     """Pick and run a vector cache engine, or return None for scalar.
 
-    ``selection`` is a resolved engine name other than ``"scalar"``.
-    Under ``"vector"`` an ineligible configuration raises; under
-    ``"auto"`` the cost model may still prefer the scalar loop.
+    ``selection`` is a resolved engine name other than ``"scalar"`` or
+    ``"sampled"`` (the sampled tier dispatches in ``Cache.simulate``
+    before this point). Under ``"vector"`` an ineligible configuration
+    raises; under ``"auto"`` the cost model may still prefer the scalar
+    loop.
     """
     if _dm_fast_eligible(config, listener):
         return _simulate_direct_mapped_writeback(config, trace, flush)

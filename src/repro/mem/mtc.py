@@ -102,7 +102,26 @@ class MinimalTrafficCache:
 
         started = time.time()
         selection = engines.resolve_engine(engine)
-        if selection != "scalar":
+        if selection in ("sampled", "auto"):
+            from repro.mem import sampled as sampled_engine
+
+            sampling = sampled_engine.sampling_for(selection, len(trace))
+            if sampling is not None:
+                reason = sampled_engine.mtc_sampled_reason(self.config)
+                if reason is None:
+                    # *prepared* covers the full trace; the sampled
+                    # sub-trace prepares its own (much smaller) pass 1.
+                    self.stats = sampled_engine.simulate_mtc_sampled(
+                        self.config, trace, flush=flush, sampling=sampling
+                    )
+                    self._record(trace, engine="sampled", started=started)
+                    return self.stats
+                if selection == "sampled":
+                    raise ConfigurationError(
+                        f"no sampled engine for {self.config.describe()}: "
+                        f"{reason}"
+                    )
+        if selection not in ("scalar", "sampled"):
             reason = engines.mtc_fast_supported(self.config)
             if reason is None:
                 self.stats = engines.simulate_mtc_fast(

@@ -71,6 +71,10 @@ def percentile_interpolated(samples: Iterable[float], q: float) -> float:
     items = sorted(samples)
     if not items:
         raise ConfigurationError("percentile of no samples")
+    if any(math.isnan(item) for item in items):
+        # NaN is unordered: sorted() leaves it wherever it started and
+        # every comparison-based rank silently becomes garbage.
+        raise ConfigurationError("percentile of NaN samples")
     if not 0.0 <= q <= 100.0:
         raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
     rank = (len(items) - 1) * q / 100.0
@@ -123,6 +127,13 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
+        if not math.isfinite(seconds):
+            # NaN would fall through every bucket comparison into the
+            # first bucket and poison total/mean forever; inf likewise.
+            raise ConfigurationError(
+                f"histogram {self.name} observed non-finite duration "
+                f"{seconds}"
+            )
         if seconds < 0:
             raise ConfigurationError(
                 f"histogram {self.name} observed negative duration {seconds}"

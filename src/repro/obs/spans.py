@@ -442,9 +442,14 @@ def select_trace(
         matches = [root for root in roots if root.trace_id == trace]
         what = f"trace {trace!r}"
     elif job is not None:
+        if not job:
+            # An empty prefix would "match" every root, including spans
+            # with no job attribute at all.
+            raise ConfigurationError("--job needs a non-empty id or prefix")
         matches = [root for root in roots if root.attr("job") == job]
         if not matches:
-            # Job ids are long content hashes; accept an unambiguous prefix.
+            # Job ids are long content hashes; accept an unambiguous
+            # prefix (roots without a job attribute never match).
             matches = [
                 root
                 for root in roots

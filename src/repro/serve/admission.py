@@ -21,6 +21,7 @@ need no locking; the scheduler hands completed-batch timings back via
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 from repro.errors import AdmissionRejected, ConfigurationError
@@ -37,6 +38,12 @@ SERVICE_TIME_ALPHA = 0.3
 
 #: Until a job has completed, assume this per-job cost (seconds).
 DEFAULT_SERVICE_TIME = 1.0
+
+#: Floor for one observed service-time sample. Sub-microsecond (or
+#: clock-skewed negative) samples are real completions — dropping them
+#: would pin the EWMA at stale slow values after a burst of cache hits,
+#: inflating Retry-After far beyond the queue's true drain time.
+MIN_SERVICE_TIME_SAMPLE = 1e-6
 
 
 class AdmissionQueue:
@@ -97,9 +104,16 @@ class AdmissionQueue:
             self._queue.appendleft(record)
 
     def observe_service_time(self, seconds: float) -> None:
-        """Fold one completed job's service time into the EWMA."""
-        if seconds <= 0:
+        """Fold one completed job's service time into the EWMA.
+
+        Instant completions (result-cache hits, coalesced duplicates)
+        legitimately measure ~0s and must still pull the average down;
+        they are clamped to :data:`MIN_SERVICE_TIME_SAMPLE` rather than
+        dropped. Non-finite samples (a poisoned timer) are ignored.
+        """
+        if not math.isfinite(seconds):
             return
+        seconds = max(seconds, MIN_SERVICE_TIME_SAMPLE)
         self._service_time = (
             SERVICE_TIME_ALPHA * seconds
             + (1.0 - SERVICE_TIME_ALPHA) * self._service_time

@@ -47,6 +47,31 @@ _ERRORS_BY_STATUS = {
 #: Default polling cadence while waiting on a job (seconds).
 DEFAULT_POLL = 0.05
 
+#: Retry-After parsing: unparseable headers fall back to this (seconds).
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Upper clamp on a parsed Retry-After. The client *sleeps* this value
+#: in run(); a buggy or hostile server must not be able to park us for
+#: an hour (or forever, via inf/NaN) with one header.
+MAX_RETRY_AFTER = 300.0
+
+
+def _parse_retry_after(header: str) -> float:
+    """Parse a Retry-After header into a sane, sleepable delay.
+
+    Well-formed servers send small non-negative integers, but this value
+    feeds ``time.sleep`` directly, so it is defensively clamped to
+    ``[0, MAX_RETRY_AFTER]``; NaN and anything unparseable fall back to
+    :data:`DEFAULT_RETRY_AFTER`.
+    """
+    try:
+        value = float(header)
+    except ValueError:
+        return DEFAULT_RETRY_AFTER
+    if value != value:  # NaN
+        return DEFAULT_RETRY_AFTER
+    return min(max(value, 0.0), MAX_RETRY_AFTER)
+
 
 class ServeClient:
     """Talks to one server at ``base_url`` (e.g. ``http://127.0.0.1:8765``)."""
@@ -119,10 +144,7 @@ class ServeClient:
         except (ServeError, KeyError, TypeError):
             pass
         if status == 429:
-            try:
-                retry_after = float(headers.get("retry-after", "1"))
-            except ValueError:
-                retry_after = 1.0
+            retry_after = _parse_retry_after(headers.get("retry-after", "1"))
             raise AdmissionRejected(message, retry_after=retry_after)
         raise _ERRORS_BY_STATUS.get(status, ServeError)(message)
 

@@ -28,7 +28,8 @@ class TestParser:
         assert set(EXPERIMENT_MODULES) == {
             "figure1", "figure2", "figure3", "figure4", "figure5",
             "table2", "table3", "table6", "table7", "table8", "table9",
-            "epin", "bench_cache", "bench_mtc", "bench_sweep",
+            "epin", "bench_cache", "bench_mtc", "bench_sampled",
+            "bench_sweep",
         }
 
     def test_positive_int_accepts_positive(self):

@@ -45,6 +45,14 @@ class TestPercentileInterpolated:
         with pytest.raises(ConfigurationError):
             percentile_interpolated([1.0], -1)
 
+    def test_nan_samples_rejected(self):
+        # NaN is unordered: sorted() would leave it anywhere and every
+        # rank silently becomes garbage, so reject loudly instead.
+        with pytest.raises(ConfigurationError, match="NaN"):
+            percentile_interpolated([1.0, float("nan"), 3.0], 50)
+        with pytest.raises(ConfigurationError, match="NaN"):
+            percentile_interpolated([float("nan")], 50)
+
 
 class TestDefaultBuckets:
     def test_one_two_five_ladder(self):
@@ -95,6 +103,39 @@ class TestHistogram:
     def test_negative_duration_rejected(self):
         with pytest.raises(ConfigurationError):
             Histogram("h").observe(-0.1)
+
+    def test_nonfinite_durations_rejected(self):
+        # NaN compares false against every bound (it would land in the
+        # first bucket) and either value poisons total/mean forever.
+        hist = Histogram("h")
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            hist.observe(float("nan"))
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            hist.observe(float("inf"))
+        assert hist.count == 0
+        assert hist.total == 0.0
+
+    def test_exact_boundary_lands_in_the_bounded_bucket(self):
+        # counts[i] holds samples with value <= bounds[i]: a sample
+        # exactly on a bucket's upper bound belongs to THAT bucket, not
+        # the next one up — deterministically, every time.
+        for _ in range(3):
+            hist = Histogram("h", bounds=(0.1, 1.0, 10.0))
+            hist.observe(0.1)
+            hist.observe(1.0)
+            hist.observe(10.0)
+            per_bucket = []
+            previous = 0
+            for _, cumulative in hist.bucket_counts():
+                per_bucket.append(cumulative - previous)
+                previous = cumulative
+            assert per_bucket == [1, 1, 1, 0]
+
+    def test_zero_lands_in_the_first_bucket(self):
+        hist = Histogram("h", bounds=(0.1, 1.0))
+        hist.observe(0.0)
+        (_, first), *_ = hist.bucket_counts()
+        assert first == 1
 
     def test_bad_bounds_rejected(self):
         with pytest.raises(ConfigurationError):

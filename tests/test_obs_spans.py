@@ -239,6 +239,39 @@ class TestSelectTrace:
         with pytest.raises(ConfigurationError, match="ambiguous"):
             select_trace(self._roots(), job="ab")
 
+    def test_ambiguous_prefix_lists_every_candidate(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            select_trace(self._roots(), job="ab")
+        message = str(excinfo.value)
+        assert "abcdef123456" in message
+        assert "abzzzz999999" in message
+
+    def test_exact_job_wins_over_a_shared_prefix(self):
+        # One job id being a prefix of another must not be ambiguous
+        # when the query names the short one exactly.
+        roots = build_trees(
+            [
+                _record("req", "1", trace="t1", job="abc"),
+                _record("req", "2", trace="t2", job="abcdef"),
+            ]
+        )
+        assert select_trace(roots, job="abc").span_id == "1"
+
+    def test_empty_job_prefix_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            select_trace(self._roots(), job="")
+
+    def test_prefix_never_matches_jobless_spans(self):
+        roots = build_trees(
+            [
+                _record("req", "1", trace="t1", job="abcdef123456"),
+                _record("cli", "2", trace="t2"),  # no job attribute
+            ]
+        )
+        assert select_trace(roots, job="abc").span_id == "1"
+        with pytest.raises(ConfigurationError, match="no spans"):
+            select_trace(roots, job="Non")  # str(None) must not match
+
     def test_unknown_job_lists_known_traces(self):
         with pytest.raises(ConfigurationError, match="t1"):
             select_trace(self._roots(), job="nope")

@@ -61,6 +61,33 @@ class TestAdmissionQueue:
             queue.observe_service_time(0.001)
         assert queue.retry_after() == 1.0
 
+    def test_instant_completions_still_pull_the_ewma_down(self):
+        # Regression: zero-duration samples (result-cache hits) used to
+        # be dropped, leaving the EWMA stuck at stale slow values and
+        # Retry-After pinned at the ceiling after a burst of hits.
+        slow = AdmissionQueue(100)
+        fast = AdmissionQueue(100)
+        for queue in (slow, fast):
+            for _ in range(50):
+                queue.observe_service_time(2.0)
+        for _ in range(50):
+            fast.observe_service_time(0.0)
+        for index in range(20):
+            slow.offer(record(f"s{index}"))
+            fast.offer(record(f"f{index}"))
+        assert fast.retry_after() == 1.0
+        assert slow.retry_after() > fast.retry_after()
+
+    def test_negative_and_nonfinite_samples_never_corrupt_the_ewma(self):
+        queue = AdmissionQueue(4)
+        queue.observe_service_time(-5.0)      # clock skew: clamps, not drops
+        queue.observe_service_time(float("nan"))
+        queue.observe_service_time(float("inf"))
+        for _ in range(50):
+            queue.observe_service_time(0.5)
+        estimate = queue._service_time
+        assert estimate == pytest.approx(0.5, rel=0.01)
+
     def test_requeue_ignores_capacity_and_preserves_order(self):
         queue = AdmissionQueue(1)
         queue.offer(record("c"))

@@ -223,6 +223,35 @@ class TestBackpressure:
                 client.wait(submitted["job"], timeout=30)
 
 
+class TestRetryAfterParsing:
+    """The client clamps Retry-After before ever sleeping on it."""
+
+    def test_sane_values_pass_through(self):
+        from repro.serve.client import _parse_retry_after
+
+        assert _parse_retry_after("5") == 5.0
+        assert _parse_retry_after("0") == 0.0
+        assert _parse_retry_after("2.5") == 2.5
+
+    def test_negative_clamps_to_zero(self):
+        from repro.serve.client import _parse_retry_after
+
+        assert _parse_retry_after("-30") == 0.0
+
+    def test_absurd_and_infinite_clamp_to_the_ceiling(self):
+        from repro.serve.client import MAX_RETRY_AFTER, _parse_retry_after
+
+        assert _parse_retry_after("1e9") == MAX_RETRY_AFTER
+        assert _parse_retry_after("inf") == MAX_RETRY_AFTER
+
+    def test_nan_and_garbage_fall_back_to_default(self):
+        from repro.serve.client import DEFAULT_RETRY_AFTER, _parse_retry_after
+
+        assert _parse_retry_after("nan") == DEFAULT_RETRY_AFTER
+        assert _parse_retry_after("soon") == DEFAULT_RETRY_AFTER
+        assert _parse_retry_after("") == DEFAULT_RETRY_AFTER
+
+
 class TestProtocolErrors:
     def test_malformed_json_is_a_protocol_error(self):
         import http.client
