@@ -44,6 +44,10 @@ SERVE_METRICS = {
     ("latency_s", "p50"): ("lower", "latency p50 (s)"),
     ("latency_s", "p95"): ("lower", "latency p95 (s)"),
     ("latency_s", "p99"): ("lower", "latency p99 (s)"),
+    # v3 phase split (skipped against older baselines).
+    ("phases", "cold", "p50_s"): ("lower", "cold-path p50 (s)"),
+    ("phases", "warm", "p50_s"): ("lower", "warm (disk-tier) p50 (s)"),
+    ("phases", "hot", "p50_s"): ("lower", "hot-tier p50 (s)"),
 }
 
 OK = "ok"
@@ -136,13 +140,28 @@ def fresh_profile(baseline: dict) -> dict:
 
 
 def fresh_serve(baseline: dict) -> dict:
-    """Re-run the committed closed-loop load against a throwaway server."""
+    """Re-run the committed serve benchmark configuration in-process.
+
+    A v3 baseline (phased cold/warm/hot measurement, possibly sharded)
+    re-runs through :func:`load_serve.run_benchmark`; an older baseline
+    re-runs the plain closed-loop fleet so its shared keys stay
+    comparable until the baseline is regenerated.
+    """
     import threading
 
-    from load_serve import run_load
+    from load_serve import run_benchmark, run_load
 
     from repro.serve.client import ServeClient
     from repro.serve.server import ServeConfig, SimulationServer
+
+    if "workers" in baseline or baseline.get("schema", "").endswith("/v3"):
+        return run_benchmark(
+            workers=baseline.get("workers", 2),
+            clients=baseline.get("clients", 8),
+            requests=baseline.get("requests_per_client", 5),
+            distinct=baseline.get("distinct_requests", 4),
+            max_refs=baseline.get("max_refs", 20_000),
+        )
 
     server = SimulationServer(ServeConfig(port=0, queue_depth=256))
     thread = threading.Thread(

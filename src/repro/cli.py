@@ -18,19 +18,25 @@ Commands
     Run one experiment under the instrumentation layer and print a
     stage/throughput profile; writes machine-readable
     ``BENCH_profile.json``.
-``cache stats|clear``
+``cache stats|clear|mrc``
     Inspect or empty the on-disk result cache (see docs/performance.md).
     ``stats --json`` emits the machine-readable form (entry/byte/
     quarantine counts) that ops tooling and the server's ``/healthz``
-    consume.
+    consume. ``mrc`` replays the serving hot tier's access log through
+    the repo's own Mattson machinery (:mod:`repro.trace.mrc`) and prints
+    the hit-ratio-vs-size curve of the tier — what each byte budget
+    would have bought on the measured reuse pattern.
 ``serve``
     Run the simulation service: an asyncio HTTP/JSON server exposing
     ``POST /v1/simulate``, ``POST /v1/sweep``, ``GET /v1/jobs/<id>``,
     ``GET /healthz``, and ``GET /metrics``. ``--queue-depth`` bounds the
     admission queue (full means HTTP 429 + Retry-After),
     ``--max-inflight`` the jobs per scheduler batch, and ``--jobs`` the
-    process-pool workers each batch fans across. SIGINT/SIGTERM drain
-    the running batch before exiting 0. See docs/serving.md.
+    process-pool workers each batch fans across. ``--workers N`` scales
+    horizontally: N shards behind a consistent-hashing front router;
+    ``--hot-tier-bytes`` budgets the in-memory tier over the disk cache
+    and ``--job-history`` bounds the in-memory job table. SIGINT/SIGTERM
+    drain the running batch before exiting 0. See docs/serving.md.
 ``submit simulate|sweep``
     Submit one request to a running server (``--server`` or
     ``$REPRO_SERVER``), wait for completion, and print the result —
@@ -380,7 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
     )
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "clear", "mrc"])
     cache.add_argument(
         "--cache-dir",
         metavar="PATH",
@@ -391,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable stats (entries/bytes/quarantined), one JSON object",
+    )
+    cache.add_argument(
+        "--points",
+        type=positive_int,
+        default=12,
+        metavar="N",
+        help="mrc: max capacity points on the hit-ratio curve (default: 12)",
     )
 
     serve = sub.add_parser(
@@ -431,9 +444,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes each batch fans across (default: 1, serial)",
     )
     serve.add_argument(
+        "--workers",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "server shards: N > 1 forks N servers behind a consistent-"
+            "hashing front router (default: 1, in-process)"
+        ),
+    )
+    serve.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the result cache (and cross-restart coalescing)",
+    )
+    serve.add_argument(
+        "--hot-tier-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "in-memory hot-tier budget over the disk cache "
+            "(default: 64 MiB; 0 disables the tier)"
+        ),
+    )
+    serve.add_argument(
+        "--job-history",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "retain at most N terminal job records in memory (evicted "
+            "results are recovered from the cache on resubmission; "
+            "default: unbounded)"
+        ),
     )
     serve.add_argument(
         "--cache-dir",
@@ -731,13 +775,98 @@ def _cmd_cache(args, out) -> None:
             print(file=out)
         else:
             print(cache.stats().describe(), file=out)
+    elif args.action == "mrc":
+        _cmd_cache_mrc(args, cache, out)
     else:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}", file=out)
 
 
+def _cmd_cache_mrc(args, cache, out) -> None:
+    """Hit-ratio-vs-size curve of the serving hot tier, from its own log.
+
+    Every hot-tier lookup appends the entry digest to
+    ``hot-tier.accesses`` under the cache root. Replaying that stream
+    through the repo's own Mattson machinery
+    (:func:`repro.trace.mrc.miss_ratio_curve`) answers the capacity
+    question the paper asks of hardware caches, for our serving cache:
+    what hit ratio would each byte budget have bought on the measured
+    reuse pattern?
+    """
+    from repro.errors import ConfigurationError
+    from repro.exec.tiered import ACCESS_LOG_NAME, read_access_log
+    from repro.trace.model import WORD_BYTES, MemTrace
+    from repro.trace.mrc import miss_ratio_curve
+
+    digests = read_access_log(cache.root)
+    if not digests:
+        raise ConfigurationError(
+            f"no hot-tier access log at {cache.root}/{ACCESS_LOG_NAME} — "
+            f"run `repro serve` (with its default hot tier) against this "
+            f"cache root first"
+        )
+    # One "block" per distinct cache entry: digests become consecutive
+    # word addresses in first-seen order, so a capacity of C blocks on
+    # the MRC is a hot tier holding C entries.
+    ids: dict[str, int] = {}
+    addresses = []
+    for digest in digests:
+        if digest not in ids:
+            ids[digest] = len(ids)
+        addresses.append(ids[digest] * WORD_BYTES)
+    trace = MemTrace(addresses, [False] * len(addresses), name="hot-tier")
+    curve = miss_ratio_curve(trace, block_bytes=WORD_BYTES)
+    distinct = len(ids)
+    # Mean serialized entry size turns entry capacities into byte budgets.
+    stats = cache.stats()
+    mean_bytes = stats.total_bytes / stats.entries if stats.entries else 0
+    capacities: list[int] = []
+    step = 1
+    while step < distinct and len(capacities) < max(1, args.points - 1):
+        capacities.append(step)
+        step *= 2
+    capacities.append(distinct)
+    points = [
+        {
+            "entries": capacity,
+            "approx_bytes": int(capacity * mean_bytes),
+            "hit_ratio": round(1.0 - curve.miss_ratio_at(capacity), 6),
+        }
+        for capacity in capacities
+    ]
+    result = {
+        "schema": "repro.cache-mrc/v1",
+        "root": str(cache.root),
+        "accesses": len(digests),
+        "distinct_entries": distinct,
+        "compulsory_miss_ratio": round(curve.compulsory_miss_ratio, 6),
+        "curve": points,
+    }
+    if getattr(args, "json", False):
+        json.dump(result, out, sort_keys=True)
+        print(file=out)
+        return
+    print(
+        f"hot-tier reuse: {len(digests)} accesses over {distinct} distinct "
+        f"entries ({cache.root})",
+        file=out,
+    )
+    print(
+        f"compulsory miss floor: {curve.compulsory_miss_ratio:.4f}",
+        file=out,
+    )
+    print(f"{'entries':>8}  {'~bytes':>12}  hit ratio", file=out)
+    for point in points:
+        print(
+            f"{point['entries']:>8}  {point['approx_bytes']:>12,}  "
+            f"{point['hit_ratio']:.4f}",
+            file=out,
+        )
+
+
 def _cmd_serve(args) -> int:
     from repro.exec import default_cache_dir
+    from repro.serve.router import ShardedServer
     from repro.serve.server import ServeConfig, SimulationServer
 
     cache_dir = None
@@ -753,7 +882,12 @@ def _cmd_serve(args) -> int:
         retry=_retry_policy(args),
         verbose=args.verbose,
         trace_spans=args.trace_spans,
+        hot_bytes=args.hot_tier_bytes,
+        workers=args.workers,
+        job_history=args.job_history,
     )
+    if config.workers > 1:
+        return ShardedServer(config).run()
     return SimulationServer(config).run()
 
 

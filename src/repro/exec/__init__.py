@@ -14,6 +14,11 @@ alive through the failures that parallel full-trace sweeps attract:
   (:class:`ResultCache`, default ``.repro-cache/``) keyed by a stable
   hash of (workload spec, simulator config, trace seed, code epoch); it
   doubles as the crash journal, and quarantines corrupt entries;
+* :mod:`repro.exec.tiered` — an in-memory hot tier
+  (:class:`HotTier`, size-aware LRU over serialized entry bytes) layered
+  in front of the disk cache behind one :class:`TieredCache` facade; its
+  access log feeds ``repro cache mrc`` (the repo's own MRC machinery
+  analysing its own serving cache);
 * :mod:`repro.exec.resilience` — the :class:`RetryPolicy` and the
   checkpoint/resume marker;
 * :mod:`repro.exec.faults` — the fault-injection harness
@@ -69,6 +74,12 @@ from repro.exec.keys import (
     workload_key,
 )
 from repro.exec.pool import Task, run_tasks
+from repro.exec.tiered import (
+    DEFAULT_HOT_BYTES,
+    HotTier,
+    TieredCache,
+    read_access_log,
+)
 from repro.exec.resilience import (
     DEFAULT_RETRY,
     RetryPolicy,
@@ -104,6 +115,10 @@ __all__ = [
     "workload_key",
     "Task",
     "run_tasks",
+    "DEFAULT_HOT_BYTES",
+    "HotTier",
+    "TieredCache",
+    "read_access_log",
     "DEFAULT_RETRY",
     "RetryPolicy",
     "clear_checkpoint",

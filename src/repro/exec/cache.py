@@ -194,6 +194,11 @@ class ResultCache:
             ) from exc
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # The temp file lives in the entry's own shard directory — inside
+        # the cache root, never the system tmp dir — so os.replace is a
+        # same-filesystem atomic rename. A crash between write and rename
+        # leaves only an unreadable *.tmp orphan, never a partial .json
+        # that get() could open; clear() sweeps such orphans.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -239,11 +244,21 @@ class ResultCache:
         )
 
     def clear(self) -> int:
-        """Delete every entry (incl. quarantine); returns the count."""
+        """Delete every entry (incl. quarantine); returns the count.
+
+        Also sweeps orphaned ``*.tmp`` files left by a writer that
+        crashed between temp-file write and atomic rename (not counted —
+        they were never readable entries).
+        """
         entries = self._entries() + self._quarantined()
         for path in entries:
             try:
                 path.unlink()
+            except OSError:
+                pass
+        for orphan in sorted(self.root.glob("*/*.tmp")):
+            try:
+                orphan.unlink()
             except OSError:
                 pass
         for shard in sorted(self.root.glob("*")):

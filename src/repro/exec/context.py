@@ -67,6 +67,20 @@ class ExecContext:
 EXEC = ExecContext()
 
 
+def _hot_tier_bytes_from_env() -> int:
+    """The ``REPRO_HOT_TIER_BYTES`` budget, or 0 for plain disk caching."""
+    raw = os.environ.get("REPRO_HOT_TIER_BYTES", "").strip()
+    if not raw:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_HOT_TIER_BYTES must be an integer byte count, got {raw!r}"
+        ) from None
+    return max(0, value)
+
+
 def _validated_jobs(jobs: int) -> int:
     if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
         raise ConfigurationError(
@@ -91,12 +105,25 @@ def configure_exec(
     (:data:`repro.obs.TRACER`) into the given JSONL path — forked pool
     workers inherit it, so the execution layer and span layer switch on
     together at the same entry points.
+
+    Setting ``REPRO_HOT_TIER_BYTES`` in the environment layers a
+    :class:`~repro.exec.tiered.HotTier` of that byte budget in front of
+    the disk cache (``0`` keeps the plain disk cache — the default, so
+    one-shot CLI runs don't pay for a tier they never re-read).
     """
     from repro.exec.cache import ResultCache
+    from repro.exec.tiered import TieredCache
     from repro.obs.spans import TRACER
 
     EXEC.jobs = _validated_jobs(jobs)
-    EXEC.cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if cache_dir is None:
+        EXEC.cache = None
+    else:
+        hot_bytes = _hot_tier_bytes_from_env()
+        if hot_bytes:
+            EXEC.cache = TieredCache(cache_dir, hot_bytes=hot_bytes)
+        else:
+            EXEC.cache = ResultCache(cache_dir)
     EXEC.retry = retry if retry is not None else DEFAULT_RETRY
     if span_log is not None:
         TRACER.configure(os.fspath(span_log))

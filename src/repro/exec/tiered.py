@@ -1,0 +1,344 @@
+"""Two-tier result cache: an in-memory hot tier over the disk cache.
+
+The on-disk :class:`~repro.exec.cache.ResultCache` made repeated work
+free across processes and restarts, but every hit still costs a file
+open, a read, and a JSON parse. Under serving load the same handful of
+results is fetched thousands of times, so this module adds the tier the
+paper's memory-system argument predicts: a small, fast store in front of
+a large, slow one, with placement driven by measured reuse.
+
+:class:`HotTier`
+    A size-aware LRU over *serialized entry bytes*: the budget is a byte
+    count, not an entry count, so one huge sweep result cannot silently
+    evict a thousand small ones unnoticed — it visibly costs its size.
+    Hit/miss/eviction counters are kept on the instance and mirrored to
+    the obs registry (``exec.cache.hot.*``). Every lookup appends the
+    entry digest to an access log (``hot-tier.accesses`` under the cache
+    root, O_APPEND so concurrent writers interleave whole lines), which
+    is exactly the reuse stream a miss-ratio curve needs:
+    ``repro cache mrc`` replays it through :mod:`repro.trace.mrc` — the
+    repo's own Mattson machinery analysing the repo's own serving cache.
+
+:class:`TieredCache`
+    The one get/put facade the exec and serve layers use. ``get`` probes
+    the hot tier, falls through to disk on a miss, and promotes disk
+    hits; ``put`` writes disk first (durability), then the hot tier.
+    It is API-compatible with :class:`ResultCache` (``root``, ``get``,
+    ``put``, ``stats``, ``clear``, hit/miss/store/corrupt counters), so
+    :func:`repro.exec.pool.run_tasks`, the checkpoint machinery, and the
+    serve scheduler need no changes to run tiered.
+
+Fork safety
+-----------
+Pool workers fork while the parent's hot tier is populated. The tier is
+plain process memory, so the child inherits a *snapshot* that the parent
+keeps mutating — sharing it would be incoherent (and the inherited lock
+state unsafe). Every operation therefore checks ``os.getpid()`` against
+the creating pid and, after a fork, discards the inherited entries and
+re-opens the access log: the child starts cold and falls through to the
+disk tier, which is fork-safe by construction (atomic same-filesystem
+renames). A child can therefore never serve a hot entry the parent
+evicted or that predates the fork — misses are the worst case, never
+stale data. Thread safety within one process is a plain lock around the
+LRU structure; the disk tier needs none beyond what it already has.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import MISS, CacheStats, ResultCache
+from repro.exec.keys import canonical_key, stable_hash
+from repro.obs import OBS
+
+__all__ = [
+    "ACCESS_LOG_NAME",
+    "DEFAULT_HOT_BYTES",
+    "HotTier",
+    "TieredCache",
+    "read_access_log",
+]
+
+#: Default hot-tier byte budget. Result envelopes are a few hundred bytes
+#: to a few tens of KB, so this holds on the order of 10^3..10^5 entries.
+DEFAULT_HOT_BYTES = 64 << 20
+
+#: Access-log filename under the cache root (one digest per line).
+ACCESS_LOG_NAME = "hot-tier.accesses"
+
+
+class HotTier:
+    """Size-aware LRU of serialized cache entries, keyed by digest."""
+
+    def __init__(
+        self,
+        budget_bytes: int = DEFAULT_HOT_BYTES,
+        *,
+        log_path: str | os.PathLike | None = None,
+    ) -> None:
+        if (
+            isinstance(budget_bytes, bool)
+            or not isinstance(budget_bytes, int)
+            or budget_bytes <= 0
+        ):
+            raise ConfigurationError(
+                f"hot-tier byte budget must be a positive integer, "
+                f"got {budget_bytes!r}"
+            )
+        self.budget_bytes = budget_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._log_path = os.fspath(log_path) if log_path is not None else None
+        self._log_fd: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+        #: Entries refused because they alone exceed the byte budget.
+        self.oversize = 0
+
+    # -- fork / logging internals --------------------------------------------------
+
+    def _maybe_reset_after_fork(self) -> None:
+        """Discard inherited state in a forked child (lock already held)."""
+        if os.getpid() == self._pid:
+            return
+        self._pid = os.getpid()
+        self._entries = OrderedDict()
+        self._bytes = 0
+        # The inherited fd offset is shared with the parent; O_APPEND
+        # makes writes safe, but re-opening keeps lifetimes independent.
+        if self._log_fd is not None:
+            try:
+                os.close(self._log_fd)
+            except OSError:
+                pass
+            self._log_fd = None
+
+    def _log_access(self, digest: str) -> None:
+        if self._log_path is None:
+            return
+        if self._log_fd is None:
+            try:
+                os.makedirs(os.path.dirname(self._log_path), exist_ok=True)
+                self._log_fd = os.open(
+                    self._log_path,
+                    os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                    0o644,
+                )
+            except OSError:
+                self._log_path = None  # give up quietly; logging is advisory
+                return
+        try:
+            # One whole line per write: O_APPEND keeps concurrent
+            # processes from interleaving partial lines.
+            os.write(self._log_fd, (digest + "\n").encode("ascii"))
+        except OSError:
+            pass
+
+    # -- the LRU -------------------------------------------------------------------
+
+    def get(self, digest: str) -> bytes | None:
+        """The serialized entry for *digest*, or None; logs the access."""
+        with self._lock:
+            self._maybe_reset_after_fork()
+            self._log_access(digest)
+            payload = self._entries.get(digest)
+            if payload is None:
+                self.misses += 1
+                if OBS.enabled:
+                    OBS.count("exec.cache.hot.miss")
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            if OBS.enabled:
+                OBS.count("exec.cache.hot.hit")
+            return payload
+
+    def put(self, digest: str, payload: bytes) -> None:
+        """Insert (or refresh) one serialized entry, evicting LRU-first."""
+        with self._lock:
+            self._maybe_reset_after_fork()
+            if len(payload) > self.budget_bytes:
+                # Refuse rather than evict the whole tier for one entry.
+                self.oversize += 1
+                return
+            previous = self._entries.pop(digest, None)
+            if previous is not None:
+                self._bytes -= len(previous)
+            self._entries[digest] = payload
+            self._bytes += len(payload)
+            self.stores += 1
+            while self._bytes > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.evictions += 1
+                if OBS.enabled:
+                    OBS.count("exec.cache.hot.evict")
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were resident."""
+        with self._lock:
+            self._maybe_reset_after_fork()
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._maybe_reset_after_fork()
+            return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            self._maybe_reset_after_fork()
+            return self._bytes
+
+    def keys(self) -> list[str]:
+        """Digests in LRU-to-MRU order (eviction order), for tests/ops."""
+        with self._lock:
+            self._maybe_reset_after_fork()
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counters + occupancy as JSON data (``/healthz``)."""
+        with self._lock:
+            self._maybe_reset_after_fork()
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "oversize": self.oversize,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<HotTier {len(self._entries)} entries "
+            f"{self._bytes}/{self.budget_bytes}B hits={self.hits} "
+            f"misses={self.misses} evictions={self.evictions}>"
+        )
+
+
+def read_access_log(root: str | os.PathLike) -> list[str]:
+    """The digests recorded under *root*, in access order.
+
+    Lines that are not plausible digests (torn writes from a crashed
+    process, stray whitespace) are dropped rather than poisoning the
+    reuse stream.
+    """
+    path = Path(root) / ACCESS_LOG_NAME
+    try:
+        text = path.read_text(encoding="ascii", errors="replace")
+    except OSError:
+        return []
+    digests = []
+    for line in text.splitlines():
+        token = line.strip()
+        if token and all(c in "0123456789abcdef" for c in token):
+            digests.append(token)
+    return digests
+
+
+class TieredCache:
+    """Hot tier + disk cache behind the :class:`ResultCache` interface."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        hot_bytes: int = DEFAULT_HOT_BYTES,
+        log_accesses: bool = True,
+    ) -> None:
+        self.disk = ResultCache(root)
+        log_path = (
+            Path(self.disk.root) / ACCESS_LOG_NAME if log_accesses else None
+        )
+        self.hot = HotTier(hot_bytes, log_path=log_path)
+
+    # -- ResultCache-compatible surface --------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        return self.disk.root
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers (what a CLI run reports)."""
+        return self.hot.hits + self.disk.hits
+
+    @property
+    def misses(self) -> int:
+        """True misses: lookups that fell through both tiers."""
+        return self.disk.misses
+
+    @property
+    def stores(self) -> int:
+        return self.disk.stores
+
+    @property
+    def corrupt(self) -> int:
+        return self.disk.corrupt
+
+    def get(self, material: object) -> object:
+        """The cached value for *material*, or the exec-cache MISS sentinel."""
+        canonical = canonical_key(material)
+        digest = stable_hash(material)
+        payload = self.hot.get(digest)
+        if payload is not None:
+            try:
+                entry = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                entry = None
+            if (
+                isinstance(entry, dict)
+                and canonical_key(entry.get("key")) == canonical
+            ):
+                return entry["value"]
+            # A mangled or colliding hot entry degrades to a miss, the
+            # same contract the disk tier honours.
+        value = self.disk.get(material)
+        if value is not MISS:
+            self.hot.put(digest, self._serialize(material, value))
+            if OBS.enabled:
+                OBS.count("exec.cache.disk.hit")
+        return value
+
+    def put(self, material: object, value: object) -> None:
+        """Store durably on disk first, then populate the hot tier."""
+        self.disk.put(material, value)  # raises on non-JSON values
+        self.hot.put(stable_hash(material), self._serialize(material, value))
+
+    @staticmethod
+    def _serialize(material: object, value: object) -> bytes:
+        return json.dumps(
+            {"key": material, "value": value}, sort_keys=True
+        ).encode("utf-8")
+
+    def stats(self) -> CacheStats:
+        return self.disk.stats()
+
+    def clear(self) -> int:
+        """Empty both tiers and the access log; returns disk entries removed."""
+        self.hot.clear()
+        if self.hot._log_path is not None:
+            try:
+                os.unlink(self.hot._log_path)
+            except OSError:
+                pass
+        return self.disk.clear()
+
+    def __repr__(self) -> str:
+        return f"<TieredCache {self.disk!r} hot={self.hot!r}>"

@@ -15,16 +15,23 @@ them:
 * :mod:`repro.serve.scheduler` — drains batches into
   :func:`repro.exec.run_tasks` (PR-2 process pool, PR-4 retry/timeout
   and crash recovery, result cache as journal);
-* :mod:`repro.serve.server` — the asyncio HTTP server, routing, live
-  ``/metrics`` (obs-registry text exposition) and ``/healthz``;
+* :mod:`repro.serve.server` — the asyncio HTTP server (keep-alive),
+  routing, live ``/metrics`` (obs-registry text exposition) and
+  ``/healthz``;
+* :mod:`repro.serve.shard` / :mod:`repro.serve.router` — horizontal
+  scale-out: ``--workers N`` forks N servers behind a consistent-hashing
+  front router, so coalescing and the in-memory hot tier
+  (:class:`repro.exec.TieredCache`) keep per-shard key locality;
 * :mod:`repro.serve.client` — the pure-python client used by the CLI,
   the tests, and ``scripts/load_serve.py``.
 
 Identical configs submitted by N clients cost one simulation: job ids
 are content addresses, in-flight and completed duplicates coalesce in
-the job table (``serve.coalesced``), and the exec cache extends the
-dedupe across server restarts. See docs/serving.md for the endpoint
-reference, semantics, and the ops runbook.
+the job table (``serve.coalesced``), repeats of finished work are
+answered inline from the tiered result cache (``serve.cache.answered``),
+and the disk tier extends the dedupe across server restarts. See
+docs/serving.md for the endpoint reference, semantics, and the ops
+runbook.
 """
 
 from __future__ import annotations
@@ -41,17 +48,21 @@ from repro.serve.protocol import (
     normalize_sweep,
     request_argv,
 )
+from repro.serve.router import ShardedServer
 from repro.serve.scheduler import Scheduler
 from repro.serve.server import ServeConfig, SimulationServer
+from repro.serve.shard import HashRing
 
 __all__ = [
     "AdmissionQueue",
+    "HashRing",
     "JobRecord",
     "JobTable",
     "PROTOCOL_VERSION",
     "Scheduler",
     "ServeClient",
     "ServeConfig",
+    "ShardedServer",
     "SimulationServer",
     "execute_request",
     "job_id",

@@ -1,10 +1,13 @@
 """Pure-python client for the simulation service (tests, CLI, load gen).
 
 :class:`ServeClient` speaks the wire protocol of
-:mod:`repro.serve.server` over stdlib ``http.client`` — one connection
-per request, matching the server's ``Connection: close`` discipline.
-Server-side error envelopes are re-raised as the *same* typed errors the
-server mapped onto HTTP in the first place
+:mod:`repro.serve.server` over stdlib ``http.client``, holding one
+**keep-alive** connection per client instance: sequential requests reuse
+the TCP connection (matching the server's HTTP/1.1 persistence), and a
+connection the server has since closed or timed out is transparently
+redialled — safe to retry because every serve request is idempotent by
+content addressing. Server-side error envelopes are re-raised as the
+*same* typed errors the server mapped onto HTTP in the first place
 (:class:`~repro.errors.ProtocolError` for 400,
 :class:`~repro.errors.JobNotFound` for 404,
 :class:`~repro.errors.AdmissionRejected` — with the parsed
@@ -17,6 +20,9 @@ submit`` CLI and the load generator use: it polls the job (honouring
 ``Retry-After`` back-off on a full queue when asked to) and returns the
 completed result envelope, raising
 :class:`~repro.errors.RemoteJobFailed` when the server reports failure.
+Submissions the server answers inline (coalesced onto a completed job,
+or served from the tiered result cache) skip the polling loop entirely —
+the result rides back on the submit response.
 """
 
 from __future__ import annotations
@@ -88,35 +94,72 @@ class ServeClient:
         self.host = host
         self.port = parsed.port or 8765
         self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
 
     # -- transport -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the cached keep-alive connection (idempotent)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:
+                pass
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _send(
+        self, method: str, path: str, payload: bytes | None
+    ) -> tuple[int, dict[str, str], bytes]:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        headers = {}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        self._connection.request(method, path, body=payload, headers=headers)
+        response = self._connection.getresponse()
+        data = response.read()
+        lowered = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        if response.will_close:
+            # The server chose Connection: close (or an HTTP/1.0 peer);
+            # fall back cleanly to dial-per-request behaviour.
+            self.close()
+        return response.status, lowered, data
 
     def _request(
         self, method: str, path: str, body: dict | None = None
     ) -> tuple[int, dict[str, str], bytes]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        payload = None
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        reused = self._connection is not None
         try:
-            payload = None
-            headers = {"Connection": "close"}
-            if body is not None:
-                payload = json.dumps(body, sort_keys=True).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            data = response.read()
-            lowered = {
-                name.lower(): value for name, value in response.getheaders()
-            }
-            return response.status, lowered, data
+            return self._send(method, path, payload)
         except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            if reused:
+                # A cached connection the server closed between requests
+                # (restart, idle timeout) surfaces here; one fresh-dial
+                # retry is safe — requests are idempotent by content
+                # addressing, so a duplicate submit coalesces.
+                try:
+                    return self._send(method, path, payload)
+                except (OSError, http.client.HTTPException) as retry_exc:
+                    self.close()
+                    exc = retry_exc
             raise ServeError(
                 f"cannot reach server at http://{self.host}:{self.port}: "
                 f"{exc} (is `repro serve` running?)"
             ) from exc
-        finally:
-            connection.close()
 
     @staticmethod
     def _decode(data: bytes) -> dict:
@@ -151,11 +194,12 @@ class ServeClient:
     # -- protocol operations -------------------------------------------------------
 
     def submit_simulate(self, **fields: object) -> dict:
-        """``POST /v1/simulate``; returns ``{"job", "state", "coalesced"}``."""
+        """``POST /v1/simulate``; returns ``{"job", "state", "coalesced",
+        "cached"}`` plus ``"result"`` when answered inline."""
         return self._json("POST", "/v1/simulate", fields)
 
     def submit_sweep(self, **fields: object) -> dict:
-        """``POST /v1/sweep``; returns ``{"job", "state", "coalesced"}``."""
+        """``POST /v1/sweep``; same response shape as simulate."""
         return self._json("POST", "/v1/sweep", fields)
 
     def job(self, job_id: str) -> dict:
@@ -195,7 +239,9 @@ class ServeClient:
 
         Returns the final record for ``done`` jobs; raises
         :class:`RemoteJobFailed` for ``failed``/``cancelled`` ones and
-        :class:`ServeError` on timeout.
+        :class:`ServeError` on timeout. :class:`JobNotFound` propagates:
+        the record may have been evicted from a bounded job table —
+        :meth:`run` handles that by resubmitting.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -229,21 +275,39 @@ class ServeClient:
         With *backoff_on_full*, a 429 is retried after the server's
         ``Retry-After`` (until *timeout* is spent) — the closed-loop
         behaviour a well-behaved client owes a load-shedding server.
+
+        Submissions the server answers inline (cache hit or coalesced
+        onto a completed job) return immediately — the submit response
+        already carries the result. If a polled job vanishes (evicted
+        from a bounded job table between poll rounds), the request is
+        resubmitted: the server recovers the result from its cache, as
+        its 404 message advises.
         """
         deadline = time.monotonic() + timeout
         while True:
+            submitted = None
+            while True:
+                try:
+                    submitted = (
+                        self.submit_simulate(**fields)
+                        if kind == "simulate"
+                        else self.submit_sweep(**fields)
+                    )
+                    break
+                except AdmissionRejected as exc:
+                    if not backoff_on_full:
+                        raise
+                    if time.monotonic() + exc.retry_after > deadline:
+                        raise
+                    time.sleep(exc.retry_after)
+            if submitted.get("state") == "done" and "result" in submitted:
+                return submitted
+            remaining = max(poll, deadline - time.monotonic())
             try:
-                submitted = (
-                    self.submit_simulate(**fields)
-                    if kind == "simulate"
-                    else self.submit_sweep(**fields)
+                return self.wait(
+                    submitted["job"], timeout=remaining, poll=poll
                 )
-                break
-            except AdmissionRejected as exc:
-                if not backoff_on_full:
+            except JobNotFound:
+                if time.monotonic() >= deadline:
                     raise
-                if time.monotonic() + exc.retry_after > deadline:
-                    raise
-                time.sleep(exc.retry_after)
-        remaining = max(poll, deadline - time.monotonic())
-        return self.wait(submitted["job"], timeout=remaining, poll=poll)
+                continue  # evicted terminal record; resubmit recovers it

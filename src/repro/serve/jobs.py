@@ -24,6 +24,7 @@ construction* rather than by parallel reimplementation.
 from __future__ import annotations
 
 import io
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -61,6 +62,9 @@ class JobRecord:
     error: dict | None = None
     #: How many submissions this record absorbed beyond the first.
     coalesced: int = 0
+    #: True when the result was answered from the tiered cache at
+    #: admission, without queueing or running anything.
+    cached: bool = False
     #: Wall-clock service time of the batch that completed the job
     #: (seconds); feeds the Retry-After estimate, never the result.
     service_seconds: float | None = None
@@ -86,6 +90,7 @@ class JobRecord:
             "kind": self.request["kind"],
             "request": dict(self.request),
             "coalesced": self.coalesced,
+            "cached": self.cached,
         }
         if self.result is not None:
             body["result"] = self.result
@@ -110,19 +115,38 @@ class JobRecord:
 
 @dataclass(slots=True)
 class JobTable:
-    """In-memory index of every job this server process has seen.
+    """In-memory index of the jobs this server process knows about.
 
     Keyed by content-addressed job id, so the table *is* the coalescing
     map: an identical request resolves to an identical id, and any
     existing record in a coalescable state absorbs the submission. A
     ``failed`` or ``cancelled`` record does not coalesce — resubmitting
     is the retry path — and is replaced by the fresh record.
+
+    *history* bounds how many **terminal** records (done / failed /
+    cancelled) are retained: once exceeded, the least recently touched
+    terminal record is evicted. Queued and running jobs are never
+    evicted — a client must always be able to poll work in flight. With
+    a result cache behind the server, eviction loses nothing: the next
+    identical submission is answered from the cache; for lost *failed*
+    ids, resubmitting retries, which is what the 404 advises anyway.
+    ``history=None`` (the default) keeps the unbounded pre-tier
+    behaviour.
     """
 
     records: dict[str, JobRecord] = field(default_factory=dict)
+    #: Max terminal records retained; ``None`` means unbounded.
+    history: int | None = None
+    #: Terminal ids in least-recently-touched-first order.
+    _terminal: OrderedDict[str, None] = field(default_factory=OrderedDict)
+    #: Terminal records dropped to honour the history bound.
+    evicted: int = 0
 
     def get(self, job_id: str) -> JobRecord | None:
-        return self.records.get(job_id)
+        record = self.records.get(job_id)
+        if record is not None and job_id in self._terminal:
+            self._terminal.move_to_end(job_id)
+        return record
 
     def resolve(self, record: JobRecord) -> tuple[JobRecord, bool]:
         """Admit *record* or coalesce onto an existing equivalent.
@@ -133,7 +157,10 @@ class JobTable:
         existing = self.records.get(record.id)
         if existing is not None and existing.state in COALESCABLE_STATES:
             existing.coalesced += 1
+            if existing.id in self._terminal:
+                self._terminal.move_to_end(existing.id)
             return existing, True
+        self._terminal.pop(record.id, None)  # replacing failed/cancelled
         self.records[record.id] = record
         return record, False
 
@@ -147,6 +174,25 @@ class JobTable:
         """
         if self.records.get(record.id) is record:
             del self.records[record.id]
+            self._terminal.pop(record.id, None)
+
+    def mark_terminal(self, record: JobRecord) -> None:
+        """Note that *record* reached a terminal state; enforce *history*.
+
+        Idempotent; called by the scheduler (done/failed/cancelled) and
+        by the admission fast path (cache-answered records are born
+        terminal).
+        """
+        if self.records.get(record.id) is not record:
+            return
+        self._terminal[record.id] = None
+        self._terminal.move_to_end(record.id)
+        if self.history is None:
+            return
+        while len(self._terminal) > max(0, self.history):
+            victim, _ = self._terminal.popitem(last=False)
+            self.records.pop(victim, None)
+            self.evicted += 1
 
     def counts(self) -> dict[str, int]:
         """Jobs per state (for /healthz)."""

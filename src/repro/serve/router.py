@@ -1,0 +1,522 @@
+"""Sharded serving: a consistent-hashing front router over N workers.
+
+``repro serve --workers N`` runs one :class:`ShardedServer`: the parent
+process binds the public port, pre-binds N loopback sockets, forks N
+:class:`~repro.serve.server.SimulationServer` workers (each inheriting
+its own listening socket across the fork), and then runs a thin asyncio
+proxy that forwards every request to the worker that *owns* it.
+
+Why a router instead of ``SO_REUSEPORT``? A shared-port accept spreads
+connections by flow hash, i.e. *randomly* with respect to request
+content — identical submissions land on different workers, so request
+coalescing stops collapsing duplicates and every shard's hot tier warms
+its own redundant copy. The router instead computes the same
+content-addressed job id the workers use and consistent-hashes it
+(:class:`~repro.serve.shard.HashRing`), so a given request always
+reaches the same shard: coalescing and hot-tier locality survive
+scale-out by construction. Submissions the router cannot content-address
+(malformed bodies) go to shard 0, whose parser produces the same 400 the
+single-worker server would.
+
+The workers share one disk cache root (atomic same-filesystem renames
+make concurrent writers safe) but each owns a private in-memory job
+table and hot tier — the ring means no two shards serve the same key,
+so nothing needs cross-process invalidation.
+
+Aggregation endpoints are answered by the router itself:
+
+* ``/healthz`` — router status plus every worker's own healthz payload
+  and the per-shard routed-request counts;
+* ``/metrics`` — worker counters summed by name (correct for monotonic
+  counters; the CI hot-tier assertion reads these), the router's own
+  counters, and each worker's full exposition prefixed ``shard<i>.`` so
+  per-shard gauges/percentiles stay inspectable without pretending
+  summed percentiles mean anything.
+
+Shutdown mirrors the single-worker contract: SIGINT/SIGTERM stops the
+router's listener, forwards SIGTERM to the workers (each drains its
+running batch and cancels its queue), and joins them before exiting 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import signal
+import socket
+import sys
+import threading
+import time
+
+from repro import obs
+from repro.errors import ConfigurationError, ProtocolError, ServeError
+from repro.obs import OBS
+from repro.serve.protocol import job_id, job_material, normalize_request
+from repro.serve.server import (
+    READ_TIMEOUT,
+    Reply,
+    ServeConfig,
+    SimulationServer,
+    _json_reply,
+    _response,
+    _wants_keep_alive,
+)
+from repro.serve.shard import HashRing
+
+__all__ = ["ShardedServer"]
+
+#: How long the router waits for a forked worker to start accepting.
+WORKER_START_TIMEOUT = 30.0
+
+#: Per-worker cap on pooled (idle keep-alive) upstream connections.
+POOL_SIZE = 8
+
+
+def _worker_main(config: ServeConfig, sock: socket.socket) -> None:
+    """Entry point of one forked worker: serve on the inherited socket."""
+    code = SimulationServer(config, sock=sock).run(install_signals=True)
+    raise SystemExit(code)
+
+
+class _WorkerPool:
+    """Keep-alive connection pool to one worker's loopback socket."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def _dial(self):
+        return await asyncio.open_connection("127.0.0.1", self.port)
+
+    async def request(self, raw: bytes) -> tuple[int, dict[str, str], bytes]:
+        """One round trip: send *raw*, parse the worker's response.
+
+        Reuses an idle pooled connection when possible; a stale one
+        (worker restarted or timed the connection out) is detected by
+        the failed round trip and retried once on a fresh dial — safe
+        because every serve request is idempotent by content addressing.
+        """
+        while True:
+            fresh = not self._idle
+            if fresh:
+                reader, writer = await self._dial()
+            else:
+                reader, writer = self._idle.pop()
+            try:
+                writer.write(raw)
+                await writer.drain()
+                status, headers, body = await self._read_response(reader)
+            except (OSError, asyncio.IncompleteReadError, ConnectionError):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                if fresh:
+                    raise  # a brand-new connection failed: worker is down
+                continue  # stale pooled connection; retry on a fresh one
+            if headers.get("connection", "").lower() == "close":
+                writer.close()
+            elif len(self._idle) < POOL_SIZE:
+                self._idle.append((reader, writer))
+            else:
+                writer.close()
+            return status, headers, body
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict[str, str], bytes]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("worker closed the connection")
+        parts = line.decode("latin-1", "replace").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed worker status line: {line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1", "replace").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    def close(self) -> None:
+        for _, writer in self._idle:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._idle.clear()
+
+
+class ShardedServer:
+    """The ``--workers N`` frontend: fork, route, aggregate, drain."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        if config.workers < 2:
+            raise ConfigurationError(
+                f"ShardedServer needs workers >= 2, got {config.workers} "
+                f"(run SimulationServer directly for one worker)"
+            )
+        self.config = config
+        self.ring = HashRing(list(range(config.workers)))
+        self.address: tuple[str, int] | None = None
+        self.ready = threading.Event()
+        self.draining = False
+        self.worker_ports: list[int] = []
+        self._procs: list[multiprocessing.Process] = []
+        self._pools: list[_WorkerPool] = []
+        self._listener: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_requested: asyncio.Event | None = None
+        #: Requests routed per shard (also exported as counters).
+        self.routed = [0] * config.workers
+        #: Open client connections, closed at drain (keep-alive peers
+        #: parked between requests must not stall shutdown).
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handler_tasks: set[asyncio.Task] = set()
+
+    # -- worker lifecycle ----------------------------------------------------------
+
+    def _spawn_workers(self) -> None:
+        """Bind one loopback socket per worker, then fork the workers.
+
+        Binding happens in the parent *before* the fork, so the parent
+        knows every port without any IPC and a worker can never lose a
+        bind race. Each child inherits exactly its own listener; the
+        parent closes its copies once the forks are done.
+        """
+        ctx = multiprocessing.get_context("fork")
+        sockets: list[socket.socket] = []
+        for _ in range(self.config.workers):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(128)
+            sockets.append(sock)
+        self.worker_ports = [sock.getsockname()[1] for sock in sockets]
+        for index, sock in enumerate(sockets):
+            worker_config = ServeConfig(
+                host="127.0.0.1",
+                port=self.worker_ports[index],
+                queue_depth=self.config.queue_depth,
+                max_inflight=self.config.max_inflight,
+                jobs=self.config.jobs,
+                cache_dir=self.config.cache_dir,
+                retry=self.config.retry,
+                verbose=self.config.verbose,
+                trace_spans=self.config.trace_spans,
+                hot_bytes=self.config.hot_bytes,
+                workers=1,
+                job_history=self.config.job_history,
+                shard=index,
+            )
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(worker_config, sock),
+                name=f"repro-serve-shard-{index}",
+            )
+            proc.start()
+            self._procs.append(proc)
+        for sock in sockets:
+            sock.close()
+        self._pools = [_WorkerPool(port) for port in self.worker_ports]
+
+    async def _await_workers(self) -> None:
+        """Block until every worker accepts connections (or fail loudly)."""
+        deadline = time.monotonic() + WORKER_START_TIMEOUT
+        for index, port in enumerate(self.worker_ports):
+            while True:
+                try:
+                    _, writer = await asyncio.open_connection("127.0.0.1", port)
+                    writer.close()
+                    break
+                except OSError:
+                    if not self._procs[index].is_alive():
+                        raise ConfigurationError(
+                            f"serve worker {index} exited during startup"
+                        ) from None
+                    if time.monotonic() > deadline:
+                        raise ConfigurationError(
+                            f"serve worker {index} did not start accepting "
+                            f"within {WORKER_START_TIMEOUT:.0f}s"
+                        ) from None
+                    await asyncio.sleep(0.05)
+
+    def _stop_workers(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM -> worker's graceful drain
+        for proc in self._procs:
+            proc.join(timeout=30)
+        for pool in self._pools:
+            pool.close()
+
+    # -- routing -------------------------------------------------------------------
+
+    def _shard_for(self, method: str, target: str, body: bytes) -> int:
+        """The shard owning this request (0 when it cannot be addressed)."""
+        path = target.split("?", 1)[0]
+        if method == "POST" and path in ("/v1/simulate", "/v1/sweep"):
+            try:
+                decoded = json.loads(body.decode("utf-8")) if body else {}
+                request = normalize_request(path.rsplit("/", 1)[1], decoded)
+            except Exception:
+                # The owning worker's parser will produce the same 400
+                # a single-worker server would; shard 0 is as good a
+                # place as any to say so deterministically.
+                return 0
+            return self.ring.lookup(job_id(job_material(request)))
+        if path.startswith("/v1/jobs/"):
+            return self.ring.lookup(path[len("/v1/jobs/"):])
+        return 0
+
+    async def _proxy(
+        self, shard: int, method: str, target: str, body: bytes
+    ) -> Reply:
+        raw = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: 127.0.0.1\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode("latin-1") + body
+        try:
+            status, headers, payload = await self._pools[shard].request(raw)
+        except (OSError, ConnectionError) as exc:
+            return _json_reply(
+                503,
+                {"error": {"type": "ShardUnavailable",
+                           "message": f"shard {shard}: {exc}"}},
+            )
+        self.routed[shard] += 1
+        if OBS.enabled:
+            OBS.count(f"serve.router.routed.{shard}")
+        return (
+            status,
+            payload,
+            headers.get("content-type", "application/json"),
+            {},
+        )
+
+    # -- aggregation ---------------------------------------------------------------
+
+    async def _healthz(self) -> Reply:
+        shards = []
+        for index in range(self.config.workers):
+            try:
+                _, _, body = await self._pools[index].request(
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 0\r\n\r\n"
+                )
+                shards.append(json.loads(body.decode("utf-8")))
+            except (OSError, ConnectionError, ValueError) as exc:
+                shards.append({"status": "unreachable", "error": str(exc)})
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "role": "router",
+            "workers": self.config.workers,
+            "routed": list(self.routed),
+            "shards": shards,
+        }
+        return _json_reply(200, payload)
+
+    async def _metrics(self) -> Reply:
+        summed: dict[str, int] = {}
+        per_shard: list[tuple[int, str]] = []
+        for index in range(self.config.workers):
+            try:
+                _, _, body = await self._pools[index].request(
+                    b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 0\r\n\r\n"
+                )
+            except (OSError, ConnectionError):
+                continue
+            text = body.decode("utf-8", "replace")
+            per_shard.append((index, text))
+            section = ""
+            for line in text.splitlines():
+                if line.startswith("#"):
+                    section = line[1:].strip()
+                    continue
+                if section != "counters" or not line:
+                    continue
+                name, _, value = line.rpartition(" ")
+                try:
+                    summed[name] = summed.get(name, 0) + int(value)
+                except ValueError:
+                    pass
+        lines = ["# counters (summed across shards)"]
+        for name in sorted(summed):
+            lines.append(f"{name} {summed[name]}")
+        lines.append("# router")
+        lines.append(f"serve.router.workers {self.config.workers}")
+        for index, count in enumerate(self.routed):
+            lines.append(f"serve.router.routed.{index} {count}")
+        for index, text in per_shard:
+            for line in text.splitlines():
+                if line and not line.startswith("#"):
+                    lines.append(f"shard{index}.{line}")
+        return (
+            200,
+            ("\n".join(lines) + "\n").encode("utf-8"),
+            "text/plain; charset=utf-8",
+            {},
+        )
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(
+                        SimulationServer._read_request(reader),
+                        timeout=READ_TIMEOUT,
+                    )
+                except ProtocolError as exc:
+                    payload = {"error": {"type": type(exc).__name__,
+                                         "message": str(exc)}}
+                    writer.write(
+                        _response(
+                            exc.http_status,
+                            (json.dumps(payload, sort_keys=True) + "\n")
+                            .encode("utf-8"),
+                            "application/json",
+                            close=True,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    OSError,
+                ):
+                    return
+                if parsed is None:
+                    return
+                method, target, body, version, req_headers = parsed
+                keep_alive = _wants_keep_alive(version, req_headers)
+                if OBS.enabled:
+                    OBS.count("serve.router.requests")
+                path = target.split("?", 1)[0]
+                try:
+                    if path == "/healthz" and method == "GET":
+                        reply = await self._healthz()
+                    elif path == "/metrics" and method == "GET":
+                        reply = await self._metrics()
+                    else:
+                        shard = self._shard_for(method, target, body)
+                        reply = await self._proxy(shard, method, target, body)
+                except ServeError as exc:
+                    payload = {"error": {"type": type(exc).__name__,
+                                         "message": str(exc)}}
+                    reply = _json_reply(exc.http_status, payload)
+                except Exception as exc:  # router bug: 500, keep serving
+                    payload = {"error": {"type": type(exc).__name__,
+                                         "message": str(exc)}}
+                    reply = _json_reply(500, payload)
+                status, payload_bytes, ctype, headers = reply
+                writer.write(
+                    _response(
+                        status,
+                        payload_bytes,
+                        ctype,
+                        headers,
+                        close=not keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handler_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Request a graceful drain; safe to call from any thread."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._begin_shutdown)
+
+    def _begin_shutdown(self) -> None:
+        self.draining = True
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def _main(self, install_signals: bool) -> int:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_requested = asyncio.Event()
+        await self._await_workers()
+        self._listener = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.address = self._listener.sockets[0].getsockname()[:2]
+        if install_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._loop.add_signal_handler(signum, self._begin_shutdown)
+        host, port = self.address
+        print(
+            f"routing on http://{host}:{port} "
+            f"({self.config.workers} shards on ports "
+            f"{self.worker_ports}, jobs={self.config.jobs}/shard)",
+            file=sys.stderr,
+            flush=True,
+        )
+        self.ready.set()
+        await self._shutdown_requested.wait()
+        self._listener.close()
+        await self._listener.wait_closed()
+        for open_writer in list(self._connections):
+            try:
+                open_writer.close()
+            except Exception:
+                pass
+        # Closed sockets wake parked handlers with EOF; wait for them so
+        # loop teardown never has to cancel one mid-read.
+        pending = [task for task in self._handler_tasks if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=2.0)
+        return 0
+
+    def run(self, *, install_signals: bool = True) -> int:
+        """Blocking entry point: fork workers, route until shut down."""
+        prev = (OBS.registry, OBS.sink, OBS.enabled, OBS._seq)
+        sink = obs.StderrSink() if self.config.verbose else None
+        self._spawn_workers()
+        obs.configure(sink=sink)
+        try:
+            code = asyncio.run(self._main(install_signals))
+        finally:
+            self._stop_workers()
+            if OBS.sink is not prev[1]:
+                OBS.sink.close()
+            OBS.registry, OBS.sink, OBS.enabled, OBS._seq = prev
+        alive = sum(1 for proc in self._procs if proc.is_alive())
+        print(
+            f"router shut down: {self.config.workers - alive}/"
+            f"{self.config.workers} shards drained cleanly",
+            file=sys.stderr,
+            flush=True,
+        )
+        return code if alive == 0 else 1

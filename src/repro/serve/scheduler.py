@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import threading
 import time
 
 from repro.errors import RunInterrupted, TaskError
@@ -70,6 +71,12 @@ class Scheduler:
         self.drained_batches = 0
         #: Jobs cancelled unstarted at shutdown (the banner reports this).
         self.cancelled = 0
+        #: Serialises terminal-state transitions against /metrics and
+        #: /healthz snapshots. Individual obs counters are thread-safe,
+        #: but a completion updates several (state counts, done counter,
+        #: service histogram) that a scrape reads as one view — holding
+        #: this lock across both sides keeps the exposition untorn.
+        self.state_lock = threading.Lock()
         self._wakeup = asyncio.Event()
         self._stopping = False
         self._requeues: dict[str, int] = {}
@@ -109,16 +116,18 @@ class Scheduler:
                 # completion; anything still queued is cancelled below.
                 drained_after_stop += len(batch)
         for record in self.queue.drain_all():
-            record.state = CANCELLED
-            record.error = {
-                "type": "ServiceUnavailable",
-                "message": "server shut down before the job started",
-            }
-            record.finished_at = time.time()
-            self._close_trace(record)
-            self.cancelled += 1
-            if OBS.enabled:
-                OBS.count("serve.jobs.cancelled")
+            with self.state_lock:
+                record.state = CANCELLED
+                record.error = {
+                    "type": "ServiceUnavailable",
+                    "message": "server shut down before the job started",
+                }
+                record.finished_at = time.time()
+                self._close_trace(record)
+                self.table.mark_terminal(record)
+                self.cancelled += 1
+                if OBS.enabled:
+                    OBS.count("serve.jobs.cancelled")
         self._gauges()
         return drained_after_stop
 
@@ -176,8 +185,25 @@ class Scheduler:
                 self._fail(record, exc)
         else:
             seconds = time.perf_counter() - start
-            per_job = seconds / max(1, len(batch))
-            finished = time.time()
+            self._complete_batch(batch, values, seconds)
+        finally:
+            self.inflight = 0
+            self._gauges()
+
+    def _complete_batch(
+        self, batch: list[JobRecord], values: list, seconds: float
+    ) -> None:
+        """Finalise a successful batch (sync, under the state lock).
+
+        One critical section covers every record transition *and* the
+        matching counter/histogram updates, so a concurrent ``/metrics``
+        or ``/healthz`` scrape (which snapshots under the same lock) can
+        never observe e.g. ``serve.jobs.done`` ahead of the service
+        histogram's count.
+        """
+        per_job = seconds / max(1, len(batch))
+        finished = time.time()
+        with self.state_lock:
             for record, value in zip(batch, values):
                 record.result = value
                 record.state = DONE
@@ -186,15 +212,13 @@ class Scheduler:
                 self.queue.observe_service_time(per_job)
                 self._requeues.pop(record.id, None)
                 self._close_trace(record, end=finished)
+                self.table.mark_terminal(record)
                 if OBS.enabled:
                     OBS.count("serve.jobs.done")
                     OBS.hist("serve.job.service", per_job)
             self.drained_batches += 1
             if OBS.enabled:
                 OBS.observe("serve.batch.time", seconds)
-        finally:
-            self.inflight = 0
-            self._gauges()
 
     # -- failure containment -------------------------------------------------------
 
@@ -209,13 +233,15 @@ class Scheduler:
 
     def _fail(self, record: JobRecord, exc: BaseException) -> None:
         cause = exc.__cause__ if exc.__cause__ is not None else exc
-        record.state = FAILED
-        record.error = {"type": type(cause).__name__, "message": str(exc)}
-        record.finished_at = time.time()
-        self._requeues.pop(record.id, None)
-        self._close_trace(record)
-        if OBS.enabled:
-            OBS.count("serve.jobs.failed")
+        with self.state_lock:
+            record.state = FAILED
+            record.error = {"type": type(cause).__name__, "message": str(exc)}
+            record.finished_at = time.time()
+            self._requeues.pop(record.id, None)
+            self._close_trace(record)
+            self.table.mark_terminal(record)
+            if OBS.enabled:
+                OBS.count("serve.jobs.failed")
 
     def _recover_batch(self, batch: list[JobRecord], exc: Exception) -> None:
         """Fail the culprit (if identifiable), requeue the survivors."""

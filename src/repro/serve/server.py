@@ -1,29 +1,43 @@
 """The asyncio HTTP/JSON server: routing, backpressure, live metrics.
 
 Stdlib-only by construction: requests are parsed directly off asyncio
-streams (no ``http.server``, no third-party framework), one request per
-connection (``Connection: close``), bodies capped at 1 MiB. That is all
-the HTTP a batch-simulation service needs, and every byte of it is
-inspectable in this one module.
+streams (no ``http.server``, no third-party framework), bodies capped at
+1 MiB. Connections are **keep-alive** by default (HTTP/1.1 semantics: a
+client that doesn't send ``Connection: close`` may pipeline sequential
+requests over one TCP connection); HTTP/1.0 peers get one request per
+connection unless they ask for ``keep-alive``. That is all the HTTP a
+batch-simulation service needs, and every byte of it is inspectable in
+this one module.
 
 Endpoints::
 
-    POST /v1/simulate   submit one cache/MTC run        -> 202 (or 200 coalesced)
-    POST /v1/sweep      submit one experiment grid      -> 202 (or 200 coalesced)
+    POST /v1/simulate   submit one cache/MTC run        -> 202 (or 200 answered)
+    POST /v1/sweep      submit one experiment grid      -> 202 (or 200 answered)
     GET  /v1/jobs/<id>  job state; result once done     -> 200 / 404
     GET  /healthz       liveness + queue/jobs/cache     -> 200
     GET  /metrics       obs-registry text exposition    -> 200
 
 The request path is deliberately thin: normalise (400 on bad input),
-content-address, coalesce against the job table (200, ``serve.coalesced``),
-or admit into the bounded queue (429 + ``Retry-After`` when full,
-``serve.rejected``). Everything heavy happens in the scheduler's batches.
+content-address, then answer without executing anything when possible —
+coalesce onto an in-flight or completed equivalent in the job table
+(200, ``serve.coalesced``) or answer straight from the tiered result
+cache (200 with the result inline, ``serve.cache.answered``). Only
+genuinely new work is admitted into the bounded queue (429 +
+``Retry-After`` when full, ``serve.rejected``). Everything heavy happens
+in the scheduler's batches.
 
 Lifecycle: :meth:`SimulationServer.run` blocks until SIGINT/SIGTERM
 (or a cross-thread :meth:`shutdown`), then drains — the running batch
 completes, queued jobs are cancelled, and the process exits 0. The obs
 facade is active for the server's lifetime so ``/metrics`` always has a
 live registry; the previous facade state is restored on exit.
+
+For multi-process serving (``repro serve --workers N``) this class is
+the per-shard backend: :class:`repro.serve.router.ShardedServer` binds
+the public socket, forks N workers each running a ``SimulationServer``
+on a pre-bound localhost socket (the ``sock`` parameter), and routes by
+consistent-hashed job id so coalescing and the hot tier keep their
+within-shard locality.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import socket
 import sys
 import threading
 import time
@@ -46,7 +61,7 @@ from repro.errors import (
 )
 from repro.obs import OBS, TRACER
 from repro.serve.admission import AdmissionQueue
-from repro.serve.jobs import JobRecord, JobTable
+from repro.serve.jobs import DONE, JobRecord, JobTable
 from repro.serve.protocol import job_id, job_material, normalize_request
 from repro.serve.scheduler import Scheduler
 
@@ -81,7 +96,8 @@ class ServeConfig:
     max_inflight: int = 4
     jobs: int = 1
     #: Exec-cache root for job results; ``None`` disables caching (and
-    #: with it completed-work coalescing across restarts).
+    #: with it completed-work coalescing across restarts and the
+    #: cache-answered fast path).
     cache_dir: str | None = None
     #: A :class:`repro.exec.RetryPolicy`, or ``None`` for the default.
     retry: object | None = None
@@ -89,10 +105,38 @@ class ServeConfig:
     #: JSONL span-log path; ``None`` (the default) disables request
     #: tracing entirely (zero per-request overhead, identical output).
     trace_spans: str | None = None
+    #: In-memory hot-tier byte budget in front of the disk cache.
+    #: ``None`` means the tiered default
+    #: (:data:`repro.exec.tiered.DEFAULT_HOT_BYTES`); ``0`` serves from
+    #: the plain disk cache. Only meaningful with a *cache_dir*.
+    hot_bytes: int | None = None
+    #: Worker processes. 1 serves in-process; N > 1 makes ``repro
+    #: serve`` start a :class:`~repro.serve.router.ShardedServer` that
+    #: forks N of these behind one public port.
+    workers: int = 1
+    #: Max terminal job records retained in the in-memory table
+    #: (``None`` = unbounded). With a cache, evicted ids are recoverable
+    #: by resubmission — the cache answers instantly.
+    job_history: int | None = None
+    #: This worker's shard index under a router (``None`` standalone);
+    #: cosmetic: banner + ``/healthz`` labelling only.
+    shard: int | None = None
 
 
 def _json_bytes(payload: object) -> bytes:
     return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+#: What a route handler produces: (status, body, content-type, headers).
+#: The connection loop owns the Connection header, so handlers never
+#: decide keep-alive policy.
+Reply = tuple[int, bytes, str, dict]
+
+
+def _json_reply(
+    status: int, payload: object, headers: dict[str, str] | None = None
+) -> Reply:
+    return status, _json_bytes(payload), "application/json", headers or {}
 
 
 def _response(
@@ -100,31 +144,57 @@ def _response(
     body: bytes,
     content_type: str,
     extra_headers: dict[str, str] | None = None,
+    *,
+    close: bool = True,
 ) -> bytes:
     lines = [
         f"HTTP/1.1 {status} {_REASONS[status]}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        f"Connection: {'close' if close else 'keep-alive'}",
     ]
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
 
+def _wants_keep_alive(version: str, headers: dict[str, str]) -> bool:
+    """HTTP/1.1 defaults to keep-alive; 1.0 must ask; close always wins."""
+    connection = headers.get("connection", "").lower()
+    if "close" in connection:
+        return False
+    if version == "HTTP/1.0":
+        return "keep-alive" in connection
+    return True
+
+
 class SimulationServer:
     """One service instance: listener + job table + queue + scheduler."""
 
-    def __init__(self, config: ServeConfig) -> None:
+    def __init__(
+        self, config: ServeConfig, *, sock: socket.socket | None = None
+    ) -> None:
         self.config = config
-        self.table = JobTable()
+        self.table = JobTable(history=config.job_history)
         self.queue = AdmissionQueue(config.queue_depth)
         cache = None
         if config.cache_dir is not None:
-            from repro.exec import ResultCache
+            from repro.exec import ResultCache, TieredCache
+            from repro.exec.tiered import DEFAULT_HOT_BYTES
 
-            cache = ResultCache(config.cache_dir)
+            hot = (
+                DEFAULT_HOT_BYTES
+                if config.hot_bytes is None
+                else config.hot_bytes
+            )
+            if hot > 0:
+                cache = TieredCache(config.cache_dir, hot_bytes=hot)
+            else:
+                cache = ResultCache(config.cache_dir)
         self.cache = cache
+        #: Pre-bound listening socket (sharded workers inherit theirs
+        #: from the router across fork); ``None`` binds host:port.
+        self._sock = sock
         self.scheduler = Scheduler(
             self.queue,
             self.table,
@@ -142,6 +212,11 @@ class SimulationServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_requested: asyncio.Event | None = None
         self._scheduler_task: asyncio.Task | None = None
+        #: Open client connections (keep-alive means they outlive single
+        #: requests); closed at drain so shutdown never hangs on an idle
+        #: peer parked between requests.
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handler_tasks: set[asyncio.Task] = set()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -149,9 +224,14 @@ class SimulationServer:
         """Bind the listener and start the scheduler (loop must be running)."""
         self._loop = asyncio.get_running_loop()
         self._shutdown_requested = asyncio.Event()
-        self._listener = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+        if self._sock is not None:
+            self._listener = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        else:
+            self._listener = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
         self.address = self._listener.sockets[0].getsockname()[:2]
         self._scheduler_task = asyncio.create_task(self.scheduler.run())
         self.ready.set()
@@ -179,6 +259,16 @@ class SimulationServer:
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # Closed sockets wake parked handlers with EOF; wait for them to
+        # unwind so the loop shuts down without cancelling anything.
+        pending = [task for task in self._handler_tasks if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=2.0)
         return drained
 
     async def _main(self, install_signals: bool) -> int:
@@ -188,8 +278,13 @@ class SimulationServer:
             for signum in (signal.SIGINT, signal.SIGTERM):
                 loop.add_signal_handler(signum, self._begin_shutdown)
         host, port = self.address
+        label = (
+            f"shard {self.config.shard} serving"
+            if self.config.shard is not None
+            else "serving"
+        )
         print(
-            f"serving on http://{host}:{port} "
+            f"{label} on http://{host}:{port} "
             f"(queue-depth={self.config.queue_depth}, "
             f"max-inflight={self.config.max_inflight}, "
             f"jobs={self.config.jobs})",
@@ -234,60 +329,91 @@ class SimulationServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve requests off one connection until it closes.
+
+        Keep-alive is decided per request: the loop continues while both
+        sides agree (HTTP/1.1 without ``Connection: close``). Each
+        iteration is bounded by :data:`READ_TIMEOUT`, which doubles as
+        the idle timeout between keep-alive requests.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        self._connections.add(writer)
         try:
-            try:
-                parsed = await asyncio.wait_for(
-                    self._read_request(reader), timeout=READ_TIMEOUT
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(
+                        self._read_request(reader), timeout=READ_TIMEOUT
+                    )
+                except ProtocolError as exc:
+                    status, body, ctype, headers = self._error_reply(exc)
+                    writer.write(
+                        _response(status, body, ctype, headers, close=True)
+                    )
+                    await writer.drain()
+                    return
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    OSError,
+                ):
+                    return  # peer stalled or vanished; nothing to answer
+                if parsed is None:
+                    return  # clean close between requests
+                method, target, body, version, req_headers = parsed
+                keep_alive = _wants_keep_alive(version, req_headers)
+                if OBS.enabled:
+                    OBS.count("serve.requests")
+                try:
+                    status, payload, ctype, headers = self._route(
+                        method, target, body
+                    )
+                except ServeError as exc:
+                    status, payload, ctype, headers = self._error_reply(exc)
+                except Exception as exc:  # route bug: 500, keep serving
+                    status, payload, ctype, headers = _json_reply(
+                        500,
+                        {"error": {"type": type(exc).__name__,
+                                   "message": str(exc)}},
+                    )
+                writer.write(
+                    _response(
+                        status, payload, ctype, headers, close=not keep_alive
+                    )
                 )
-            except ProtocolError as exc:
-                writer.write(self._error_response(exc))
-                return
-            except (asyncio.TimeoutError, asyncio.IncompleteReadError, OSError):
-                return  # peer stalled or vanished; nothing to answer
-            if parsed is None:
-                return
-            method, target, body = parsed
-            if OBS.enabled:
-                OBS.count("serve.requests")
-            try:
-                response = self._route(method, target, body)
-            except ServeError as exc:
-                response = self._error_response(exc)
-            except Exception as exc:  # route bug: answer 500, keep serving
-                payload = {"error": {"type": type(exc).__name__,
-                                     "message": str(exc)}}
-                response = _response(
-                    500, _json_bytes(payload), "application/json"
-                )
-            writer.write(response)
-            await writer.drain()
+                await writer.drain()
+                if not keep_alive:
+                    return
         finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handler_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     @staticmethod
-    def _error_response(exc: ServeError) -> bytes:
+    def _error_reply(exc: ServeError) -> Reply:
         if OBS.enabled and isinstance(exc, AdmissionRejected):
             OBS.count("serve.rejected")
         headers = {}
         if isinstance(exc, AdmissionRejected):
             headers["Retry-After"] = str(int(exc.retry_after))
         payload = {"error": {"type": type(exc).__name__, "message": str(exc)}}
-        return _response(
-            exc.http_status, _json_bytes(payload), "application/json", headers
-        )
+        return _json_reply(exc.http_status, payload, headers)
 
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, bytes] | None:
+    ) -> tuple[str, str, bytes, str, dict[str, str]] | None:
         """Parse one HTTP/1.x request head + body off the stream.
 
-        Returns ``None`` when the peer closed without sending anything;
-        raises :class:`ProtocolError` for requests this server will not
+        Returns ``(method, target, body, version, headers)``, or ``None``
+        when the peer closed without sending anything; raises
+        :class:`ProtocolError` for requests this server will not
         interpret (the connection still gets a clean 400).
         """
         line = await reader.readline()
@@ -296,7 +422,7 @@ class SimulationServer:
         parts = line.decode("latin-1", "replace").split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             raise ProtocolError(f"malformed request line: {line!r}")
-        method, target = parts[0].upper(), parts[1]
+        method, target, version = parts[0].upper(), parts[1], parts[2]
         headers: dict[str, str] = {}
         while True:
             raw = await reader.readline()
@@ -317,11 +443,11 @@ class SimulationServer:
                 f"{MAX_BODY_BYTES}-byte limit"
             )
         body = await reader.readexactly(length) if length else b""
-        return method, target, body
+        return method, target, body, version, headers
 
     # -- routing -------------------------------------------------------------------
 
-    def _route(self, method: str, target: str, body: bytes) -> bytes:
+    def _route(self, method: str, target: str, body: bytes) -> Reply:
         path = target.split("?", 1)[0]
         if path in ("/v1/simulate", "/v1/sweep"):
             if method != "POST":
@@ -342,14 +468,12 @@ class SimulationServer:
         raise JobNotFound(f"no route for {path!r}")
 
     @staticmethod
-    def _method_not_allowed(allowed: str) -> bytes:
+    def _method_not_allowed(allowed: str) -> Reply:
         payload = {"error": {"type": "MethodNotAllowed",
                              "message": f"use {allowed}"}}
-        return _response(
-            405, _json_bytes(payload), "application/json", {"Allow": allowed}
-        )
+        return _json_reply(405, payload, {"Allow": allowed})
 
-    def _submit(self, kind: str, body: bytes) -> bytes:
+    def _submit(self, kind: str, body: bytes) -> Reply:
         if self.draining:
             raise ServiceUnavailable(
                 "server is draining for shutdown; resubmit elsewhere or later"
@@ -372,6 +496,8 @@ class SimulationServer:
         if coalesced:
             if OBS.enabled:
                 OBS.count("serve.coalesced")
+        elif self._answer_from_cache(record):
+            pass  # terminal record registered; payload built below
         else:
             try:
                 self.queue.offer(record)  # raises AdmissionRejected when full
@@ -396,49 +522,97 @@ class SimulationServer:
             "job": record.id,
             "state": record.state,
             "coalesced": coalesced,
+            "cached": record.cached,
         }
-        return _response(
-            200 if coalesced else 202, _json_bytes(payload), "application/json"
-        )
+        answered = record.state == DONE and record.result is not None
+        if answered:
+            # The result rides along on the submit response, so a
+            # repeated (coalesced-onto-done or cache-answered) request
+            # costs one round trip, not submit + poll.
+            payload["result"] = record.result
+        return _json_reply(200 if (coalesced or answered) else 202, payload)
 
-    def _job_status(self, job_id_text: str) -> bytes:
+    def _answer_from_cache(self, record: JobRecord) -> bool:
+        """Answer a fresh submission straight from the result cache.
+
+        The tiered cache is consulted *before* queueing: a hit registers
+        the record as already-done (born terminal, ``cached=True``) and
+        nothing is scheduled. This is what makes repeats cheap — the hot
+        tier turns them into a dict lookup — and what feeds the tier's
+        reuse stream for ``repro cache mrc``.
+        """
+        if self.cache is None:
+            return False
+        from repro.exec import MISS
+
+        value = self.cache.get(record.material)
+        if value is MISS:
+            return False
+        now = time.time()
+        with self.scheduler.state_lock:
+            record.result = value
+            record.state = DONE
+            record.cached = True
+            record.admitted_at = now
+            record.finished_at = now
+            record.service_seconds = 0.0
+            self.table.mark_terminal(record)
+            if OBS.enabled:
+                OBS.count("serve.cache.answered")
+        return True
+
+    def _job_status(self, job_id_text: str) -> Reply:
         record = self.table.get(job_id_text)
         if record is None:
             raise JobNotFound(
                 f"no job {job_id_text!r} (job state is in-memory; results "
                 f"persist in the result cache — resubmit to recover them)"
             )
-        return _response(
-            200, _json_bytes(record.describe()), "application/json"
-        )
+        return _json_reply(200, record.describe())
 
-    def _healthz(self) -> bytes:
-        payload = {
-            "status": "draining" if self.draining else "ok",
-            "queue": {
-                "depth": len(self.queue),
-                "capacity": self.queue.capacity,
-            },
-            "inflight": self.scheduler.inflight,
-            "jobs": self.table.counts(),
-            "cache": self.cache.stats().to_json() if self.cache else None,
-        }
-        if OBS.enabled:
-            # Interpolated-percentile latency summaries (empty until the
-            # first batch runs; the histograms are created on demand).
-            payload["latency"] = {
-                "queue_wait": OBS.registry.histogram(
-                    "serve.queue.wait"
-                ).snapshot(),
-                "service": OBS.registry.histogram(
-                    "serve.job.service"
-                ).snapshot(),
+    def _healthz(self) -> Reply:
+        # One consistent snapshot: terminal transitions (scheduler) and
+        # the cache-answer path mutate job counts, counters, and
+        # histograms together under this lock, so a scrape racing a
+        # completion sees either all of its effects or none.
+        with self.scheduler.state_lock:
+            payload = {
+                "status": "draining" if self.draining else "ok",
+                "queue": {
+                    "depth": len(self.queue),
+                    "capacity": self.queue.capacity,
+                },
+                "inflight": self.scheduler.inflight,
+                "jobs": self.table.counts(),
+                "cache": self.cache.stats().to_json() if self.cache else None,
             }
-        return _response(200, _json_bytes(payload), "application/json")
+            if self.config.shard is not None:
+                payload["shard"] = self.config.shard
+            hot = getattr(self.cache, "hot", None)
+            if hot is not None:
+                payload["hot_tier"] = hot.stats()
+            if self.table.history is not None:
+                payload["jobs"]["evicted"] = self.table.evicted
+            if OBS.enabled:
+                # Interpolated-percentile latency summaries (empty until
+                # the first batch runs; histograms created on demand).
+                payload["latency"] = {
+                    "queue_wait": OBS.registry.histogram(
+                        "serve.queue.wait"
+                    ).snapshot(),
+                    "service": OBS.registry.histogram(
+                        "serve.job.service"
+                    ).snapshot(),
+                }
+        return _json_reply(200, payload)
 
-    def _metrics(self) -> bytes:
+    def _metrics(self) -> Reply:
         self.scheduler._gauges()  # queue-depth/inflight read fresh
-        text = OBS.registry.exposition() if OBS.enabled else ""
-        return _response(
-            200, (text + "\n").encode("utf-8"), "text/plain; charset=utf-8"
+        with self.scheduler.state_lock:
+            text = OBS.registry.exposition() if OBS.enabled else ""
+        return (
+            200,
+            (text + "\n").encode("utf-8"),
+            "text/plain; charset=utf-8",
+            {},
         )

@@ -1,0 +1,73 @@
+"""Consistent-hash ring mapping exec-cache keys to serve shards.
+
+The sharded front router (:mod:`repro.serve.router`) must send every
+submission of the *same* request to the *same* worker, or the two things
+that make serving fast stop working: request coalescing (duplicates only
+collapse inside one job table) and the hot tier (a result promoted in
+shard 0's memory is useless if the repeat lands on shard 1). A plain
+``hash(key) % N`` would do that too, but consistent hashing keeps the
+remap fraction at ~1/N when a worker is added or removed, which matters
+once shard counts are reconfigured against a warm disk cache.
+
+Standard construction: each node contributes *replicas* points on a ring
+of sha256 values; a key is owned by the first node point clockwise from
+the key's own hash. sha256 (not Python's ``hash``) keeps the mapping
+stable across processes and runs — the router, tests, and the load
+generator's balance report must all agree on ownership.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HashRing"]
+
+
+def _point(token: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over a fixed node set."""
+
+    def __init__(self, nodes: list[int], *, replicas: int = 64) -> None:
+        if not nodes:
+            raise ConfigurationError("a hash ring needs at least one node")
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be positive, got {replicas!r}"
+            )
+        self.nodes = list(nodes)
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for node in self.nodes:
+            for replica in range(replicas):
+                points.append((_point(f"shard-{node}-{replica}"), node))
+        points.sort()
+        self._ring = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def lookup(self, key: str) -> int:
+        """The node owning *key* (first ring point clockwise of its hash)."""
+        where = bisect.bisect_right(self._ring, _point(key))
+        if where == len(self._ring):
+            where = 0
+        return self._owners[where]
+
+    def distribution(self, keys: list[str]) -> dict[int, int]:
+        """How many of *keys* each node owns (balance reporting)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<HashRing nodes={self.nodes} replicas={self.replicas} "
+            f"points={len(self._ring)}>"
+        )

@@ -399,12 +399,62 @@ class TestCacheStatsJson:
         }
 
 
+class TestCacheMrc:
+    """``repro cache mrc`` replays the hot tier's access log through the
+    repo's own Mattson machinery."""
+
+    def _drive_accesses(self, cache_dir):
+        # Pattern a b a b: 4 accesses, 2 distinct entries. LRU truth:
+        # capacity 1 never hits, capacity 2 hits the two repeats.
+        from repro.exec import TieredCache
+
+        cache = TieredCache(cache_dir)
+        keys = [{"seed": seed} for seed in range(2)]
+        for key in keys:
+            cache.put(key, {"output": "x" * 64})
+        for _ in range(2):
+            for key in keys:
+                assert cache.get(key) == {"output": "x" * 64}
+
+    def test_curve_matches_lru_arithmetic(self, tmp_path):
+        cache_dir = str(tmp_path / "cc")
+        self._drive_accesses(cache_dir)
+        report = json.loads(
+            run_cli("cache", "mrc", "--cache-dir", cache_dir, "--json")
+        )
+        assert report["schema"] == "repro.cache-mrc/v1"
+        assert report["accesses"] == 4
+        assert report["distinct_entries"] == 2
+        assert report["compulsory_miss_ratio"] == 0.5
+        assert [point["entries"] for point in report["curve"]] == [1, 2]
+        assert [point["hit_ratio"] for point in report["curve"]] == [0.0, 0.5]
+        assert all(point["approx_bytes"] > 0 for point in report["curve"])
+
+    def test_text_mode_renders_the_table(self, tmp_path):
+        cache_dir = str(tmp_path / "cc")
+        self._drive_accesses(cache_dir)
+        text = run_cli("cache", "mrc", "--cache-dir", cache_dir)
+        assert "4 accesses over 2 distinct entries" in text
+        assert "compulsory miss floor: 0.5000" in text
+        assert "hit ratio" in text
+
+    def test_no_access_log_is_a_clear_error(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["cache", "mrc", "--cache-dir", str(tmp_path / "empty")], out=out
+        )
+        assert code == 1
+
+
 class TestServeParser:
     def test_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert (args.host, args.port) == ("127.0.0.1", 8765)
         assert (args.queue_depth, args.max_inflight, args.jobs) == (64, 4, 1)
         assert not args.no_cache and not args.verbose
+        assert args.workers == 1
+        assert args.hot_tier_bytes is None
+        assert args.job_history is None
 
     def test_port_range_validated(self, capsys):
         for bad in ("-1", "65536", "http", "80.0"):

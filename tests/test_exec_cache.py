@@ -136,3 +136,43 @@ class TestResultCache:
         cache.put({"k": 1}, "new")
         assert cache.get({"k": 1}) == "new"
         assert cache.stats().entries == 1
+
+
+class TestCrashSafety:
+    """A writer dying between temp-file write and rename must never
+    leave a readable partial entry — regression tests for the atomic
+    ``put`` contract the tiered cache's disk tier relies on."""
+
+    def test_crash_before_rename_leaves_no_readable_entry(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path / "c")
+        key = {"experiment": "t", "seed": 0}
+
+        def crash(src, dst):
+            raise OSError("simulated crash at the rename boundary")
+
+        monkeypatch.setattr("repro.exec.cache.os.replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.put(key, {"rows": [1, 2, 3]})
+        monkeypatch.undo()
+        # Nothing addressable: the entry path was never created, so the
+        # lookup is a plain miss — not corruption, not a partial value.
+        assert cache.get(key) is MISS
+        assert cache.corrupt == 0
+        assert cache.stats().entries == 0
+        assert list(cache.root.glob("*/*.json")) == []
+
+    def test_orphaned_tmp_files_are_invisible_and_swept(self, tmp_path):
+        # A hard crash (no unwinding) leaves the temp file behind; it
+        # must never be readable as an entry, and clear() reclaims it.
+        cache = ResultCache(tmp_path / "c")
+        key = {"experiment": "t", "seed": 0}
+        cache.put(key, 42)
+        shard_dir = next(cache.root.glob("*/"))
+        orphan = shard_dir / "deadbeef01234567.tmp"
+        orphan.write_text('{"schema": "partial entr')
+        assert cache.get(key) == 42
+        assert cache.stats().entries == 1  # the orphan is not an entry
+        assert cache.clear() == 1  # orphans are swept but not counted
+        assert not orphan.exists()

@@ -150,6 +150,63 @@ class TestJobTable:
         assert table.counts() == {"done": 2, "queued": 1}
 
 
+class TestJobTableHistory:
+    def _settle(self, table, name):
+        job, _ = table.resolve(record(name, state=DONE))
+        table.mark_terminal(job)
+        return job
+
+    def test_terminal_records_evict_lru_beyond_history(self):
+        table = JobTable(history=2)
+        self._settle(table, "a")
+        self._settle(table, "b")
+        assert table.evicted == 0
+        # Touch a so b becomes the LRU terminal record.
+        assert table.get("a") is not None
+        self._settle(table, "c")
+        assert table.get("b") is None
+        assert table.get("a") is not None
+        assert table.get("c") is not None
+        assert table.evicted == 1
+
+    def test_live_records_are_never_evicted(self):
+        table = JobTable(history=1)
+        for name in ("q1", "q2", "q3"):
+            table.resolve(record(name))  # queued, not terminal
+        self._settle(table, "a")
+        self._settle(table, "b")  # evicts a, the only other terminal
+        assert table.get("a") is None
+        for name in ("q1", "q2", "q3"):
+            assert table.get(name) is not None
+        assert table.evicted == 1
+
+    def test_coalescing_onto_a_terminal_record_refreshes_recency(self):
+        table = JobTable(history=2)
+        self._settle(table, "a")
+        self._settle(table, "b")
+        # A repeat submission of a coalesces and makes it most-recent...
+        _, coalesced = table.resolve(record("a", state=DONE))
+        assert coalesced
+        self._settle(table, "c")
+        # ...so b, not a, was the victim.
+        assert table.get("a") is not None
+        assert table.get("b") is None
+
+    def test_unbounded_by_default(self):
+        table = JobTable()
+        for index in range(50):
+            self._settle(table, f"job-{index}")
+        assert table.evicted == 0
+        assert table.counts() == {"done": 50}
+
+    def test_mark_terminal_ignores_unindexed_records(self):
+        table = JobTable(history=1)
+        stray = record("stray", state=DONE)  # never resolved into the table
+        table.mark_terminal(stray)
+        assert table.get("stray") is None
+        assert table.evicted == 0
+
+
 def run_scheduler_once(queue, table, **kwargs):
     """Run a scheduler until every admitted job settles, then stop it."""
 

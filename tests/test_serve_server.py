@@ -119,9 +119,11 @@ class TestServedResults:
             second = client.run("simulate", request, timeout=60)
             metrics = client.metrics()
         assert second["result"] == first["result"]
-        # The restarted server answered from the exec cache: the task ran
-        # but its value was a cache hit, not a recomputation.
-        assert metrics.get("exec.cache.hit") == 1
+        # The restarted server answered inline from the disk tier of the
+        # result cache — no task was queued, let alone recomputed.
+        assert second["cached"] is True
+        assert metrics.get("serve.cache.answered") == 1
+        assert metrics.get("exec.cache.disk.hit") == 1
 
 
 class TestCoalescing:
@@ -479,6 +481,157 @@ class TestSpanTracing:
         assert any(
             line.startswith("serve.request") for line in folded.splitlines()
         )
+
+
+class TestKeepAlive:
+    def test_sequential_requests_reuse_one_connection(self):
+        with running_server() as (_, client):
+            client.healthz()
+            first = client._connection
+            assert first is not None
+            first_sock = first.sock
+            client.healthz()
+            client.metrics_text()
+            # Same HTTPConnection, same socket: no redial happened.
+            assert client._connection is first
+            assert client._connection.sock is first_sock
+
+    def test_connection_close_is_honoured(self):
+        import http.client
+
+        with running_server() as (server, _):
+            host, port = server.address
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request(
+                "GET", "/healthz", headers={"Connection": "close"}
+            )
+            response = connection.getresponse()
+            response.read()
+            assert response.will_close
+            assert response.getheader("Connection") == "close"
+            connection.close()
+
+    def test_http_10_defaults_to_close(self):
+        import socket as socket_module
+
+        with running_server() as (server, _):
+            host, port = server.address
+            with socket_module.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+                data = b""
+                while chunk := sock.recv(4096):
+                    data += chunk  # server closing = end of response
+            assert b"Connection: close" in data
+            assert b'"status": "ok"' in data or b'"status":"ok"' in data
+
+    def test_stale_cached_connection_falls_back_to_a_fresh_dial(self):
+        import socket as socket_module
+
+        with running_server() as (_, client):
+            client.healthz()
+            assert client._connection is not None
+            # Sever the cached connection under the client (as a server
+            # restart or idle timeout would); the next request must
+            # detect the stale socket and succeed on a fresh dial.
+            client._connection.sock.shutdown(socket_module.SHUT_RDWR)
+            assert client.healthz()["status"] == "ok"
+
+
+class TestJobHistory:
+    def test_history_bounds_terminal_records_and_cache_recovers(
+        self, tmp_path
+    ):
+        fields = [
+            {"workload": "Espresso", "size": size, "max_refs": 2000}
+            for size in ("1KB", "2KB")
+        ]
+        with running_server(
+            cache_dir=str(tmp_path / "cache"), job_history=1
+        ) as (_, client):
+            first = client.run("simulate", fields[0], timeout=60)
+            second = client.run("simulate", fields[1], timeout=60)
+            # The table keeps one terminal record: completing the second
+            # job evicted the first.
+            with pytest.raises(JobNotFound):
+                client.job(first["job"])
+            assert client.job(second["job"])["state"] == "done"
+            health = client.healthz()
+            assert health["jobs"]["evicted"] == 1
+            # Resubmitting the evicted request is answered inline from
+            # the result cache — eviction never loses results.
+            again = client.submit_simulate(**fields[0])
+            assert again["cached"] is True
+            assert again["result"] == first["result"]
+
+    def test_client_run_resubmits_when_the_record_is_evicted(
+        self, tmp_path, monkeypatch
+    ):
+        """run() polling a job whose record was evicted mid-wait gets a
+        404, resubmits, and completes from the cache."""
+        release = threading.Event()
+        real_wait = ServeClient.wait
+        calls = {"n": 0}
+
+        def evict_then_wait(self, job_id, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise JobNotFound("job evicted (simulated)")
+            return real_wait(self, job_id, **kwargs)
+
+        monkeypatch.setattr(ServeClient, "wait", evict_then_wait)
+        with running_server(cache_dir=str(tmp_path / "cache")) as (_, client):
+            release.set()
+            record = client.run(
+                "simulate",
+                {"workload": "Espresso", "size": "4KB", "max_refs": 2000},
+                timeout=60,
+            )
+        assert record["state"] == "done"
+        assert calls["n"] >= 1
+
+
+class TestScrapeConsistency:
+    def test_scrapes_racing_completions_see_consistent_counts(self, tmp_path):
+        """/metrics and /healthz snapshot under the scheduler's state
+        lock: jobs.done and the service histogram count are updated in
+        the same critical section, so no scrape may ever observe one
+        without the other."""
+        inconsistencies = []
+        stop = threading.Event()
+
+        def scrape(base_url):
+            with ServeClient(base_url, timeout=30) as scraper:
+                while not stop.is_set():
+                    metrics = scraper.metrics()
+                    done = metrics.get("serve.jobs.done", 0)
+                    serviced = metrics.get("serve.job.service.count", 0)
+                    if done != serviced:
+                        inconsistencies.append((done, serviced))
+                    health = scraper.healthz()
+                    h_done = health["jobs"].get("done", 0)
+                    h_serviced = health["latency"]["service"]["count"]
+                    if h_done != h_serviced:
+                        inconsistencies.append((h_done, h_serviced))
+
+        with running_server() as (server, client):
+            host, port = server.address
+            scraper_thread = threading.Thread(
+                target=scrape, args=(f"http://{host}:{port}",), daemon=True
+            )
+            scraper_thread.start()
+            try:
+                for seed in range(8):
+                    client.run(
+                        "simulate",
+                        {"workload": "Espresso", "seed": seed,
+                         "max_refs": 2000},
+                        timeout=60,
+                    )
+            finally:
+                stop.set()
+                scraper_thread.join(30)
+        assert not scraper_thread.is_alive()
+        assert inconsistencies == []
 
 
 class TestGracefulShutdown:
