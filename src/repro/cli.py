@@ -71,7 +71,12 @@ take ``--retries N`` (per-task attempt budget), ``--task-timeout S``
 (the fault-injection harness; also honours ``$REPRO_FAULTS``). An
 interrupted ``experiment`` run (Ctrl-C) flushes completed results to the
 cache and exits 130 with a resume hint — re-running the same command
-resumes from where it died.
+resumes from where it died. ``serve`` takes ``--inject-fault`` too: the
+serve-layer points (``shard.kill``, ``shard.slow``, ``conn.drop``) crash
+or stall forked shards on demand so the router's supervision, failover,
+and circuit breakers can be exercised under real chaos (the plan is
+armed before the fork, so shards inherit it and budgets are shared
+across the tree).
 """
 
 from __future__ import annotations
@@ -287,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "fault-injection spec, e.g. 'worker.kill@Swm;cache.corrupt*2' "
+            "or, under serve, 'shard.kill@/v1/simulate' "
             "(also honours $REPRO_FAULTS; see docs/robustness.md)"
         ),
     )
@@ -793,18 +799,38 @@ def _cmd_cache_mrc(args, cache, out) -> None:
     what hit ratio would each byte budget have bought on the measured
     reuse pattern?
     """
-    from repro.errors import ConfigurationError
     from repro.exec.tiered import ACCESS_LOG_NAME, read_access_log
     from repro.trace.model import WORD_BYTES, MemTrace
     from repro.trace.mrc import miss_ratio_curve
 
     digests = read_access_log(cache.root)
     if not digests:
-        raise ConfigurationError(
-            f"no hot-tier access log at {cache.root}/{ACCESS_LOG_NAME} — "
-            f"run `repro serve` (with its default hot tier) against this "
-            f"cache root first"
+        # A missing or empty log is the normal state of a cache root
+        # that has never served traffic — explain how to grow one
+        # instead of erroring (or printing an empty table).
+        if getattr(args, "json", False):
+            json.dump(
+                {
+                    "schema": "repro.cache-mrc/v1",
+                    "root": str(cache.root),
+                    "accesses": 0,
+                    "distinct_entries": 0,
+                    "curve": [],
+                },
+                out,
+                sort_keys=True,
+            )
+            print(file=out)
+            return
+        print(
+            f"no hot-tier accesses recorded yet at "
+            f"{cache.root}/{ACCESS_LOG_NAME} — that log grows as `repro "
+            f"serve` answers requests from its in-memory hot tier; serve "
+            f"some traffic against this cache root, then re-run "
+            f"`repro cache mrc`",
+            file=out,
         )
+        return
     # One "block" per distinct cache entry: digests become consecutive
     # word addresses in first-seen order, so a capacity of C blocks on
     # the MRC is a hot tier holding C entries.

@@ -142,9 +142,31 @@ class AdmissionRejected(ServeError):
 
 
 class ServiceUnavailable(ServeError):
-    """The server is draining for shutdown and accepts no new work (503)."""
+    """The service cannot take this request right now (HTTP 503).
+
+    Raised when the server is draining for shutdown, and by the sharded
+    router when the owning shard is restarting or its circuit breaker is
+    open. ``retry_after`` carries the parsed ``Retry-After`` seconds when
+    the server sent one (the router derives it from the shard's restart
+    backoff schedule); ``None`` means the condition is not expected to
+    clear on its own — a drain, for example — so clients fail fast.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
     http_status = 503
+
+
+class ShardUnavailable(ServiceUnavailable):
+    """A sharded router could not reach the shard owning a request.
+
+    The wire envelope type for the router's 503s. Distinct from a plain
+    :class:`ServiceUnavailable` drain because it is *transient by
+    design*: the router's supervision is already respawning the shard,
+    and the reply's ``Retry-After`` says when to come back.
+    """
 
 
 class RemoteJobFailed(ServeError):

@@ -12,6 +12,9 @@ is ``point[@match][*times][=param]``, with multiple specs joined by
     task.delay@Swm=0.5          # sleep 0.5s before the task
     cache.corrupt*3             # garbage the next three stored entries
     task.interrupt@table8       # simulate Ctrl-C before a table8 task
+    shard.kill@/v1/simulate     # crash a serve shard mid-request
+    conn.drop@POST*3            # sever three router->shard round trips
+    shard.slow@/v1/jobs=0.5     # stall a shard 0.5s on matching requests
 
 Fault points
 ------------
@@ -35,6 +38,21 @@ Fault points
     Raise :class:`~repro.errors.FaultInjected` at a chunk boundary in
     :meth:`Cache.simulate_chunked`; the label is ``<trace name>:<chunk
     index>``.
+``shard.kill``
+    ``os._exit`` a forked serve shard after it has read a matching
+    request but before answering — a mid-request crash the router's
+    supervision must absorb. The label is ``shard<i>:<METHOD> <path>``.
+    Inert in the process that armed the plan (a single-worker ``repro
+    serve`` or a test harness is never its own chaos victim).
+``shard.slow``
+    Sleep ``param`` seconds inside a serve shard before routing a
+    matching request — latency injection for timeout/drain coverage.
+``conn.drop``
+    Sever one router->shard proxy round trip: the router closes a pooled
+    worker connection and treats the request as a connection failure, so
+    failover, Retry-After, and circuit-breaker accounting all run.
+    Enacted by the router via :meth:`FaultPlan.take` (same label shape
+    as ``shard.kill``), never via :meth:`FaultPlan.fire`.
 
 Firing budgets and scope
 ------------------------
@@ -83,6 +101,9 @@ FAULT_POINTS = (
     "cache.corrupt",
     "cache.truncate",
     "sim.chunk",
+    "shard.kill",
+    "shard.slow",
+    "conn.drop",
 )
 
 
@@ -220,9 +241,13 @@ class FaultPlan:
         """Claim and *enact* a firing of *point*; True if one fired."""
         if not self.active:
             return False
-        if point == "worker.kill" and os.getpid() == self.parent_pid:
-            # Never kill the parent: serial escalation must survive the
-            # fault that broke the pool. The budget is left unspent.
+        if point in ("worker.kill", "shard.kill") and (
+            os.getpid() == self.parent_pid
+        ):
+            # Never kill the process that armed the plan: serial
+            # escalation must survive the fault that broke the pool, and
+            # a single-worker server (or the router itself) must never be
+            # its own chaos victim. The budget is left unspent.
             return False
         spec = self.take(point, label)
         if spec is None:
@@ -231,10 +256,12 @@ class FaultPlan:
             raise FaultInjected(
                 f"injected fault {spec.describe()} fired at {label!r}"
             )
-        if point == "task.delay":
+        if point in ("task.delay", "shard.slow"):
             time.sleep(spec.param)
         elif point == "worker.kill":
             os._exit(17)
+        elif point == "shard.kill":
+            os._exit(21)
         elif point == "task.interrupt":
             raise KeyboardInterrupt(
                 f"injected fault {spec.describe()} fired at {label!r}"

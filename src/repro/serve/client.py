@@ -11,9 +11,10 @@ content addressing. Server-side error envelopes are re-raised as the
 (:class:`~repro.errors.ProtocolError` for 400,
 :class:`~repro.errors.JobNotFound` for 404,
 :class:`~repro.errors.AdmissionRejected` — with the parsed
-``Retry-After`` — for 429, :class:`~repro.errors.ServiceUnavailable` for
-503), so client code handles one taxonomy whether it runs in-process or
-across the wire.
+``Retry-After`` — for 429, :class:`~repro.errors.ServiceUnavailable` or
+:class:`~repro.errors.ShardUnavailable` — likewise carrying any
+``Retry-After`` the router attached — for 503), so client code handles
+one taxonomy whether it runs in-process or across the wire.
 
 :meth:`ServeClient.run` is the submit-and-wait convenience the ``repro
 submit`` CLI and the load generator use: it polls the job (honouring
@@ -39,15 +40,17 @@ from repro.errors import (
     RemoteJobFailed,
     ServeError,
     ServiceUnavailable,
+    ShardUnavailable,
 )
 
 __all__ = ["ServeClient"]
 
 #: HTTP status -> raised error type (the server's taxonomy, mirrored).
+#: 429 and 503 are handled inline in :meth:`ServeClient._json` — both
+#: carry a parsed ``Retry-After``.
 _ERRORS_BY_STATUS = {
     400: ProtocolError,
     404: JobNotFound,
-    503: ServiceUnavailable,
 }
 
 #: Default polling cadence while waiting on a job (seconds).
@@ -182,13 +185,30 @@ class ServeClient:
         if status < 400:
             return self._decode(data)
         message = "server error"
+        kind = ""
         try:
-            message = self._decode(data)["error"]["message"]
+            envelope = self._decode(data)["error"]
+            message = envelope["message"]
+            kind = envelope.get("type", "")
         except (ServeError, KeyError, TypeError):
             pass
         if status == 429:
             retry_after = _parse_retry_after(headers.get("retry-after", "1"))
             raise AdmissionRejected(message, retry_after=retry_after)
+        if status == 503:
+            # The router's shard-restart 503s carry an honest Retry-After
+            # (clamped exactly like the 429 path); a plain drain 503 does
+            # not, and run() fails fast on those.
+            header = headers.get("retry-after")
+            retry_after = (
+                _parse_retry_after(header) if header is not None else None
+            )
+            cls = (
+                ShardUnavailable
+                if kind == "ShardUnavailable"
+                else ServiceUnavailable
+            )
+            raise cls(message, retry_after=retry_after)
         raise _ERRORS_BY_STATUS.get(status, ServeError)(message)
 
     # -- protocol operations -------------------------------------------------------
@@ -274,16 +294,29 @@ class ServeClient:
 
         With *backoff_on_full*, a 429 is retried after the server's
         ``Retry-After`` (until *timeout* is spent) — the closed-loop
-        behaviour a well-behaved client owes a load-shedding server.
+        behaviour a well-behaved client owes a load-shedding server. A
+        503 that carries a ``Retry-After`` (the sharded router answering
+        for a shard mid-restart) is honoured the same way, with the same
+        [0, 300] clamp; a 503 *without* one (a draining server) fails
+        fast, because waiting would not help.
 
         Submissions the server answers inline (cache hit or coalesced
         onto a completed job) return immediately — the submit response
         already carries the result. If a polled job vanishes (evicted
-        from a bounded job table between poll rounds), the request is
-        resubmitted: the server recovers the result from its cache, as
-        its 404 message advises.
+        from a bounded job table between poll rounds, or lost with a
+        crashed shard's in-memory job table), the request is resubmitted:
+        the server recovers the result from its cache, as its 404 message
+        advises.
         """
         deadline = time.monotonic() + timeout
+
+        def _backoff(exc: ServeError, retry_after: float) -> None:
+            if not backoff_on_full:
+                raise exc
+            if time.monotonic() + retry_after > deadline:
+                raise exc
+            time.sleep(retry_after)
+
         while True:
             submitted = None
             while True:
@@ -295,11 +328,11 @@ class ServeClient:
                     )
                     break
                 except AdmissionRejected as exc:
-                    if not backoff_on_full:
-                        raise
-                    if time.monotonic() + exc.retry_after > deadline:
-                        raise
-                    time.sleep(exc.retry_after)
+                    _backoff(exc, exc.retry_after)
+                except ServiceUnavailable as exc:
+                    if exc.retry_after is None:
+                        raise  # draining: no amount of patience helps
+                    _backoff(exc, exc.retry_after)
             if submitted.get("state") == "done" and "result" in submitted:
                 return submitted
             remaining = max(poll, deadline - time.monotonic())
@@ -311,3 +344,14 @@ class ServeClient:
                 if time.monotonic() >= deadline:
                     raise
                 continue  # evicted terminal record; resubmit recovers it
+            except ServiceUnavailable as exc:
+                # The owning shard went down mid-poll. When the router
+                # says when to come back, do so and resubmit — the job id
+                # is content-addressed, so the resubmission coalesces or
+                # re-runs identically on the respawned shard.
+                if exc.retry_after is None:
+                    raise
+                if time.monotonic() + exc.retry_after >= deadline:
+                    raise
+                time.sleep(exc.retry_after)
+                continue

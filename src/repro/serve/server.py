@@ -59,6 +59,7 @@ from repro.errors import (
     ServeError,
     ServiceUnavailable,
 )
+from repro.exec.faults import FAULTS
 from repro.obs import OBS, TRACER
 from repro.serve.admission import AdmissionQueue
 from repro.serve.jobs import DONE, JobRecord, JobTable
@@ -121,6 +122,11 @@ class ServeConfig:
     #: This worker's shard index under a router (``None`` standalone);
     #: cosmetic: banner + ``/healthz`` labelling only.
     shard: int | None = None
+    #: A :class:`repro.exec.RetryPolicy` governing the router's shard
+    #: respawns (budget + deterministically-jittered backoff), or
+    #: ``None`` for the router's default. Ignored by a standalone
+    #: single-worker server.
+    restart_policy: object | None = None
 
 
 def _json_bytes(payload: object) -> bytes:
@@ -365,6 +371,22 @@ class SimulationServer:
                 keep_alive = _wants_keep_alive(version, req_headers)
                 if OBS.enabled:
                     OBS.count("serve.requests")
+                if FAULTS.active:
+                    # Serve-layer chaos hooks: the request is parsed (so
+                    # the label carries method + path) but not yet acted
+                    # on, which makes a fired shard.kill a mid-request
+                    # crash the router must absorb with zero client
+                    # failures. shard.kill is inert in the process that
+                    # armed the plan (see FaultPlan.fire), so only forked
+                    # shards ever die here.
+                    tag = (
+                        f"shard{self.config.shard}"
+                        if self.config.shard is not None
+                        else "serve"
+                    )
+                    label = f"{tag}:{method} {target.split('?', 1)[0]}"
+                    FAULTS.fire("shard.slow", label)
+                    FAULTS.fire("shard.kill", label)
                 try:
                     status, payload, ctype, headers = self._route(
                         method, target, body

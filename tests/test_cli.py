@@ -438,12 +438,35 @@ class TestCacheMrc:
         assert "compulsory miss floor: 0.5000" in text
         assert "hit ratio" in text
 
-    def test_no_access_log_is_a_clear_error(self, tmp_path):
+    def test_no_access_log_prints_friendly_guidance(self, tmp_path):
+        """A cache root that never served traffic is a normal state, not
+        an error: one line saying what the log is and how to grow one."""
         out = io.StringIO()
         code = main(
             ["cache", "mrc", "--cache-dir", str(tmp_path / "empty")], out=out
         )
-        assert code == 1
+        assert code == 0
+        text = out.getvalue()
+        assert "hot-tier.accesses" in text
+        assert "repro serve" in text
+        assert "hit ratio" not in text  # no empty table
+
+    def test_no_access_log_json_is_an_empty_report(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "cache", "mrc",
+                "--cache-dir", str(tmp_path / "empty"),
+                "--json",
+            ],
+            out=out,
+        )
+        assert code == 0
+        report = json.loads(out.getvalue())
+        assert report["schema"] == "repro.cache-mrc/v1"
+        assert report["accesses"] == 0
+        assert report["distinct_entries"] == 0
+        assert report["curve"] == []
 
 
 class TestServeParser:

@@ -146,6 +146,39 @@ class TestFirePoints:
         with injected_faults("task.raise@Swm"):
             assert FAULTS.fire("task.raise", "Compress") is False
 
+    def test_shard_kill_is_inert_in_the_arming_process(self):
+        """Same guard as worker.kill: a single-worker server (or the
+        router) arms the plan but must never be its own chaos victim.
+        The budget is left unspent for a forked shard."""
+        with injected_faults("shard.kill"):
+            assert FAULTS.fire("shard.kill", "shard0:POST /v1/simulate") is False
+            assert FAULTS.specs[0].remaining == 1
+
+    def test_shard_slow_sleeps_and_reports_fired(self):
+        with injected_faults("shard.slow=0"):
+            assert FAULTS.fire("shard.slow", "shard1:GET /v1/jobs/x") is True
+            assert FAULTS.fire("shard.slow", "shard1:GET /v1/jobs/x") is False
+
+    def test_conn_drop_is_claimed_via_take(self):
+        """conn.drop is enacted by the router (severing a pooled
+        connection), never by fire() — take() claims the budget."""
+        with injected_faults("conn.drop@/v1/simulate*2"):
+            spec = FAULTS.take("conn.drop", "shard0:POST /v1/simulate")
+            assert spec is not None and spec.point == "conn.drop"
+            assert spec.remaining == 1
+            assert FAULTS.take("conn.drop", "shard0:GET /healthz") is None
+            assert FAULTS.take("conn.drop", "shard1:POST /v1/simulate") is not None
+            assert FAULTS.take("conn.drop", "shard1:POST /v1/simulate") is None
+
+    def test_serve_points_parse_and_round_trip(self):
+        for text in (
+            "shard.kill@/v1/simulate",
+            "conn.drop@POST*3",
+            "shard.slow@/v1/jobs=0.5",
+        ):
+            (spec,) = parse_fault_spec(text)
+            assert parse_fault_spec(spec.describe())[0] == spec
+
 
 class TestConfiguration:
     def test_configure_none_deactivates(self):

@@ -1,0 +1,355 @@
+"""Chaos tests for the sharded serving tier: kill, drop, and slow shards.
+
+These tests assert the PR-9 acceptance contract end to end, in-process:
+with ``shard.kill`` injected mid-load the run completes with **zero
+failed client requests** (retries and resubmits are allowed — failures
+are not) and every result is byte-identical to a clean single-worker
+run; ``/healthz`` transitions ``degraded`` → ``ok`` around a respawn;
+submits during a restart get an honest ``Retry-After``; idempotent GETs
+fail over to the respawned shard; the per-shard circuit breaker opens on
+consecutive connection failures and recovers through half-open; and a
+shard that flaps past its restart budget degrades the router instead of
+crashing it.
+
+Fault plans are armed *before* the router forks, so shards inherit them;
+``scope_dir`` gives every plan a cross-process firing budget, which is
+what makes "exactly one kill" deterministic across N worker processes.
+"""
+
+import contextlib
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobNotFound, ServiceUnavailable, ShardUnavailable
+from repro.exec.faults import injected_faults
+from repro.exec.resilience import RetryPolicy
+from repro.serve import HashRing, ServeClient, ServeConfig, ShardedServer
+from repro.serve.protocol import job_id, job_material, normalize_request
+from repro.serve.server import SimulationServer
+
+#: Respawn almost immediately — chaos tests should not wait on backoff.
+FAST_RESTARTS = RetryPolicy(attempts=5, base_delay=0.05, max_delay=0.2)
+
+#: A visible restart window, for tests that act *during* the restart.
+SLOW_RESTARTS = RetryPolicy(attempts=5, base_delay=2.5, max_delay=2.5)
+
+REQUESTS = [
+    {"workload": "Espresso", "size": size, "max_refs": 2000}
+    for size in ("1KB", "2KB", "4KB", "8KB")
+]
+
+
+@contextlib.contextmanager
+def running_single(cache_dir):
+    config = ServeConfig(host="127.0.0.1", port=0, cache_dir=cache_dir, jobs=2)
+    server = SimulationServer(config)
+    thread = threading.Thread(
+        target=lambda: server.run(install_signals=False), daemon=True
+    )
+    thread.start()
+    assert server.ready.wait(10)
+    try:
+        with ServeClient(
+            f"http://127.0.0.1:{server.address[1]}", timeout=60
+        ) as client:
+            yield client
+    finally:
+        server.shutdown()
+        thread.join(30)
+        assert not thread.is_alive()
+
+
+@contextlib.contextmanager
+def running_sharded(cache_dir, restart_policy, workers=2, **overrides):
+    config = ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=cache_dir,
+        jobs=2,
+        workers=workers,
+        restart_policy=restart_policy,
+        **overrides,
+    )
+    server = ShardedServer(config)
+    codes: list[int] = []
+    thread = threading.Thread(
+        target=lambda: codes.append(server.run(install_signals=False)),
+        daemon=True,
+    )
+    thread.start()
+    assert server.ready.wait(60), "router never came up"
+    try:
+        with ServeClient(
+            f"http://127.0.0.1:{server.address[1]}", timeout=120
+        ) as client:
+            yield server, client
+    finally:
+        server.shutdown()
+        thread.join(60)
+        assert not thread.is_alive(), "router thread failed to exit"
+    assert codes == [0], "router did not shut down cleanly"
+
+
+def _poll_health(client, wanted, timeout=30.0):
+    """Poll /healthz until its status equals *wanted*; return the payload."""
+    deadline = time.monotonic() + timeout
+    while True:
+        health = client.healthz()
+        if health["status"] == wanted:
+            return health
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"healthz never reached {wanted!r}; last: {health['status']!r}"
+            )
+        time.sleep(0.02)
+
+
+def _await_mode(server, shard, mode, timeout=10.0):
+    """Wait until the router's own supervision state for *shard* is
+    *mode*. Polling /healthz for a short-lived transient is racy — a
+    scrape issued just before the supervisor notices the death can ride
+    the accept backlog through the respawn and come back "ok" — so
+    tests observe the state machine directly and then assert what
+    /healthz reports *while the state provably holds*."""
+    deadline = time.monotonic() + timeout
+    while server._shards[shard].mode != mode:
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"shard {shard} never reached mode {mode!r}; "
+                f"last: {server._shards[shard].mode!r}"
+            )
+        time.sleep(0.005)
+
+
+def _poll_shard(client, shard, state, restarts=None, timeout=30.0):
+    """Poll /healthz supervision until *shard* reaches *state* (and, when
+    given, at least *restarts* restarts); return the shard entry."""
+    deadline = time.monotonic() + timeout
+    while True:
+        entry = client.healthz()["supervision"]["shards"][shard]
+        if entry["state"] == state and (
+            restarts is None or entry["restarts"] >= restarts
+        ):
+            return entry
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"shard {shard} never reached {state!r}; last: {entry!r}"
+            )
+        time.sleep(0.02)
+
+
+def _owner(body):
+    """Which of two shards the ring routes *body* to."""
+    return HashRing([0, 1]).lookup(
+        job_id(job_material(normalize_request("simulate", body)))
+    )
+
+
+def _body_owned_by(shard):
+    """A simulate body deterministically routed to *shard* (of two)."""
+    for max_refs in range(2000, 2200):
+        body = {"workload": "Espresso", "size": "1KB", "max_refs": max_refs}
+        if _owner(body) == shard:
+            return body
+    raise AssertionError(f"no candidate body routed to shard {shard}")
+
+
+def _job_id_owned_by(shard):
+    """A (nonexistent) job id the ring routes to *shard* (of two)."""
+    ring = HashRing([0, 1])
+    for index in range(200):
+        candidate = f"no-such-job-{index}"
+        if ring.lookup(candidate) == shard:
+            return candidate
+    raise AssertionError(f"no candidate job id routed to shard {shard}")
+
+
+class TestShardKillMidLoad:
+    def test_kill_is_invisible_to_clients_and_results_match_clean_run(
+        self, tmp_path
+    ):
+        """The acceptance bar: one shard dies mid-request under load, yet
+        every client request completes (via honest 503 + resubmit) and
+        every result is byte-identical to a clean single-worker run."""
+        clean = str(tmp_path / "clean-cache")
+        with running_single(clean) as client:
+            reference = [
+                json.dumps(
+                    client.run("simulate", body, timeout=60)["result"],
+                    sort_keys=True,
+                )
+                for body in REQUESTS
+            ]
+
+        chaos_cache = str(tmp_path / "chaos-cache")
+        scope = str(tmp_path / "fault-scope")
+        with injected_faults("shard.kill@/v1/simulate", scope_dir=scope):
+            with running_sharded(chaos_cache, FAST_RESTARTS) as (
+                server,
+                client,
+            ):
+                survived = [
+                    json.dumps(
+                        client.run("simulate", body, timeout=120)["result"],
+                        sort_keys=True,
+                    )
+                    for body in REQUESTS
+                ]
+                health = _poll_health(client, "ok")
+                metrics = client.metrics()
+
+        assert survived == reference
+        assert health["supervision"]["restarts"] >= 1
+        assert metrics["serve.shard.restart"] >= 1
+        assert server.restarts_total >= 1
+
+    def test_healthz_transitions_degraded_then_ok_around_a_respawn(
+        self, tmp_path
+    ):
+        with running_sharded(str(tmp_path / "cache"), SLOW_RESTARTS) as (
+            server,
+            client,
+        ):
+            _poll_health(client, "ok")
+            os.kill(server._procs[0].pid, signal.SIGKILL)
+            # While the restart window is provably open, /healthz must
+            # report it (the slow policy keeps the window >= ~1.2s).
+            _await_mode(server, 0, "restarting")
+            degraded = client.healthz()
+            assert degraded["status"] == "degraded"
+            entry = degraded["shards"][0]
+            assert entry["shard"] == 0
+            assert entry["status"] in ("restarting", "down", "unreachable")
+            recovered = _poll_health(client, "ok")
+            shard = recovered["supervision"]["shards"][0]
+            assert shard["state"] == "up"
+            assert shard["restarts"] == 1
+
+
+class TestFailoverDuringRestart:
+    def test_submit_gets_honest_retry_after_and_get_fails_over(
+        self, tmp_path
+    ):
+        body = _body_owned_by(0)
+        with running_sharded(str(tmp_path / "cache"), SLOW_RESTARTS) as (
+            server,
+            client,
+        ):
+            os.kill(server._procs[0].pid, signal.SIGKILL)
+            _await_mode(server, 0, "restarting")
+
+            # Non-idempotent while the owner restarts: honest 503, with a
+            # Retry-After derived from the backoff schedule (>= 1s after
+            # the router's ceil, <= the client's [0, 300] clamp).
+            with pytest.raises(ShardUnavailable) as excinfo:
+                client.submit_simulate(**body)
+            assert excinfo.value.retry_after is not None
+            assert 1.0 <= excinfo.value.retry_after <= 300.0
+            assert "restarting" in str(excinfo.value)
+
+            # Idempotent GET: the router waits out the respawn and
+            # retries against the recovered shard — the client sees the
+            # shard's own 404, never a 503.
+            with pytest.raises(JobNotFound):
+                client.job(_job_id_owned_by(0))
+            assert server.failovers >= 1
+
+            _poll_health(client, "ok")
+            metrics = client.metrics()
+            assert metrics["serve.router.failover"] >= 1
+            assert metrics["serve.shard.restart"] >= 1
+
+    def test_resubmission_after_respawn_returns_the_same_result(
+        self, tmp_path
+    ):
+        """client.run() rides out a mid-poll shard death: the 503's
+        Retry-After is honoured and the content-addressed resubmission
+        lands on the respawned shard."""
+        body = _body_owned_by(0)
+        with running_sharded(str(tmp_path / "cache"), FAST_RESTARTS) as (
+            server,
+            client,
+        ):
+            first = client.run("simulate", body, timeout=60)["result"]
+            os.kill(server._procs[0].pid, signal.SIGKILL)
+            again = client.run("simulate", body, timeout=120)["result"]
+            assert json.dumps(again, sort_keys=True) == json.dumps(
+                first, sort_keys=True
+            )
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_on_consecutive_drops_and_recovers(
+        self, tmp_path
+    ):
+        """Four injected connection drops walk the breaker through
+        closed → open → half-open → open → half-open → closed; the
+        client's retries eventually land a real result."""
+        body = REQUESTS[0]
+        scope = str(tmp_path / "fault-scope")
+        with injected_faults("conn.drop@/v1/simulate*4", scope_dir=scope):
+            with running_sharded(
+                str(tmp_path / "cache"), FAST_RESTARTS
+            ) as (server, client):
+                result = None
+                for _ in range(200):
+                    try:
+                        result = client.run(
+                            "simulate", body, timeout=60, poll=0.02,
+                            backoff_on_full=False,
+                        )
+                        break
+                    except ServiceUnavailable:
+                        time.sleep(0.1)
+                assert result is not None, "submits never got through"
+                assert result["state"] == "done"
+                assert server.breaker_opens >= 1
+                assert server.unavailable >= 1
+                metrics = client.metrics()
+                assert metrics["serve.shard.breaker.open"] >= 1
+                assert metrics["serve.router.unavailable"] >= 1
+                # Drops sever connections; they never kill a shard.
+                assert server.restarts_total == 0
+                health = client.healthz()
+                shard = health["supervision"]["shards"][_owner(body)]
+                assert shard["breaker"] == "closed"
+
+
+class TestRestartBudget:
+    def test_flapping_past_the_budget_degrades_but_never_crashes(
+        self, tmp_path
+    ):
+        policy = RetryPolicy(attempts=1, base_delay=0.05, max_delay=0.1)
+        with running_sharded(str(tmp_path / "cache"), policy) as (
+            server,
+            client,
+        ):
+            # First death is within budget: wait until the *respawned*
+            # process is up (so the next kill hits the new pid, not the
+            # reaped old one).
+            os.kill(server._procs[0].pid, signal.SIGKILL)
+            _poll_shard(client, 0, "up", restarts=1)
+            _poll_health(client, "ok")
+
+            # Second death inside the flap window exhausts the budget.
+            os.kill(server._procs[0].pid, signal.SIGKILL)
+            _poll_shard(client, 0, "failed", timeout=15)
+            health = client.healthz()
+            assert health["status"] == "degraded"
+
+            # Work owned by the failed shard is refused honestly...
+            with pytest.raises(ShardUnavailable, match="restart budget"):
+                client.submit_simulate(**_body_owned_by(0))
+            # ...while the surviving shard keeps serving.
+            live = client.run(
+                "simulate", _body_owned_by(1), timeout=60
+            )
+            assert live["state"] == "done"
+            # The router stays degraded — it never crashed, and exits
+            # cleanly on drain (asserted by the harness).
+            assert client.healthz()["status"] == "degraded"

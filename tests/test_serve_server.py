@@ -254,6 +254,94 @@ class TestRetryAfterParsing:
         assert _parse_retry_after("") == DEFAULT_RETRY_AFTER
 
 
+class TestServiceUnavailableMapping:
+    """How the client maps 503 envelopes — the contract the sharded
+    router's restart/breaker answers ride on."""
+
+    @staticmethod
+    def _scripted_client(monkeypatch, responses):
+        """A client whose transport pops canned (status, headers, body)
+        triples instead of touching the network."""
+        import json
+
+        client = ServeClient("http://127.0.0.1:1", timeout=1)
+        script = list(responses)
+
+        def _fake_request(method, path, body=None):
+            status, headers, payload = script.pop(0)
+            return status, headers, json.dumps(payload).encode("utf-8")
+
+        monkeypatch.setattr(client, "_request", _fake_request)
+        return client
+
+    @staticmethod
+    def _unavailable(message="shard 0 cannot take this request",
+                     kind="ShardUnavailable"):
+        return {"error": {"type": kind, "message": message}}
+
+    def test_503_with_shard_envelope_is_shard_unavailable(self, monkeypatch):
+        from repro.errors import ShardUnavailable
+
+        client = self._scripted_client(
+            monkeypatch,
+            [(503, {"retry-after": "2"}, self._unavailable())],
+        )
+        with pytest.raises(ShardUnavailable) as excinfo:
+            client.submit_simulate(workload="Espresso", size="1KB")
+        assert excinfo.value.retry_after == 2.0
+
+    def test_503_without_retry_after_has_none_and_fails_fast(
+        self, monkeypatch
+    ):
+        """A drain 503 carries no Retry-After; run() must not spin on
+        it — waiting out a shutdown would never help."""
+        from repro.errors import ServiceUnavailable
+
+        client = self._scripted_client(
+            monkeypatch,
+            [(503, {}, self._unavailable(
+                "server is draining", kind="ServiceUnavailable"
+            ))],
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.run("simulate", {"workload": "Espresso", "size": "1KB"})
+        assert excinfo.value.retry_after is None
+
+    def test_huge_router_retry_after_is_clamped(self, monkeypatch):
+        from repro.errors import ShardUnavailable
+        from repro.serve.client import MAX_RETRY_AFTER
+
+        client = self._scripted_client(
+            monkeypatch,
+            [(503, {"retry-after": "1e9"}, self._unavailable())],
+        )
+        with pytest.raises(ShardUnavailable) as excinfo:
+            client.submit_simulate(workload="Espresso", size="1KB")
+        assert excinfo.value.retry_after == MAX_RETRY_AFTER
+
+    def test_run_honours_retry_after_then_resubmits(self, monkeypatch):
+        """A 503-with-Retry-After during submit is retried (like a 429),
+        and the resubmission's inline answer is returned."""
+        done = {
+            "job": "abc123",
+            "state": "done",
+            "coalesced": False,
+            "cached": True,
+            "result": {"answer": 42},
+        }
+        client = self._scripted_client(
+            monkeypatch,
+            [
+                (503, {"retry-after": "0"}, self._unavailable()),
+                (200, {}, done),
+            ],
+        )
+        record = client.run(
+            "simulate", {"workload": "Espresso", "size": "1KB"}, timeout=5
+        )
+        assert record["result"] == {"answer": 42}
+
+
 class TestProtocolErrors:
     def test_malformed_json_is_a_protocol_error(self):
         import http.client

@@ -10,7 +10,10 @@ whole tree drains cleanly on shutdown.
 
 import contextlib
 import json
+import os
+import signal
 import threading
+import time
 
 import pytest
 
@@ -239,3 +242,65 @@ class TestShardedEndToEnd:
             # Submit + every poll landed on the one owning shard.
             assert server.routed[owner] >= 2
             assert server.routed[1 - owner] == 0
+
+
+class TestDrainUnderChaos:
+    def test_drain_completes_with_inflight_request_while_a_shard_dies(
+        self, tmp_path
+    ):
+        """Shutdown with a keep-alive request in flight — slowed by an
+        injected ``shard.slow`` — while the *other* shard is SIGKILLed
+        mid-drain: the in-flight request still gets its response, the
+        dead shard is not respawned (drain trumps supervision), and the
+        whole tree exits cleanly (asserted by the harness)."""
+        from repro.exec.faults import injected_faults
+
+        body = REQUESTS[0]
+        jid = job_id(job_material(normalize_request("simulate", body)))
+        owner = HashRing([0, 1]).lookup(jid)
+        other = 1 - owner
+
+        # Match the job id: only the poll GET (label
+        # ``shard<i>:GET /v1/jobs/<jid>``) fires, not the submit.
+        spec = f"shard.slow@{jid}=0.8"
+        scope = str(tmp_path / "fault-scope")
+        outcome: list[object] = []
+
+        with injected_faults(spec, scope_dir=scope):
+            with running_sharded(str(tmp_path / "cache")) as (
+                server,
+                client,
+            ):
+                submitted = client.submit_simulate(**body)
+                assert submitted["job"] == jid
+
+                def _slow_get():
+                    with ServeClient(
+                        f"http://127.0.0.1:{server.address[1]}", timeout=60
+                    ) as poller:
+                        try:
+                            outcome.append(poller.job(jid))
+                        except Exception as exc:  # surfaced below
+                            outcome.append(exc)
+
+                poll_thread = threading.Thread(target=_slow_get, daemon=True)
+                poll_thread.start()
+                time.sleep(0.25)  # let the GET reach the slowed shard
+
+                server.shutdown()
+                deadline = time.monotonic() + 5
+                while not server.draining:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                os.kill(server._procs[other].pid, signal.SIGKILL)
+
+                poll_thread.join(15)
+                assert not poll_thread.is_alive(), "in-flight GET hung"
+
+        assert len(outcome) == 1
+        record = outcome[0]
+        assert isinstance(record, dict), f"in-flight GET failed: {record!r}"
+        assert record.get("state") in ("queued", "running", "done")
+        # Drain trumps supervision: the killed shard was never respawned.
+        assert server._shards[other].restarts == 0
+        assert server.restarts_total == 0
