@@ -2,14 +2,16 @@
 
 Run from the repository root::
 
-    PYTHONPATH=src python scripts/check_bench.py [--only profile|serve]
+    PYTHONPATH=src python scripts/check_bench.py [--only profile|serve|scenario]
                                                  [--tolerance 0.5]
 
-Re-measures the two committed benchmark artifacts —
+Re-measures the committed benchmark artifacts —
 
-* ``BENCH_profile.json`` (``repro profile``: simulation throughput), and
+* ``BENCH_profile.json`` (``repro profile``: simulation throughput),
 * ``BENCH_serve.json`` (``scripts/load_serve.py``: served latency and
-  throughput under closed-loop load)
+  throughput under closed-loop load), and
+* ``BENCH_scenario.json`` (``repro profile scenarios``: the scenario
+  traffic sweep's throughput)
 
 — and compares the headline numbers against the checked-in files with a
 relative tolerance band. Timing on shared CI runners is noisy, so the
@@ -188,9 +190,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--only",
-        choices=["profile", "serve"],
+        choices=["profile", "serve", "scenario"],
         default=None,
-        help="check just one benchmark (default: both)",
+        help="check just one benchmark (default: all)",
     )
     parser.add_argument(
         "--tolerance",
@@ -211,6 +213,10 @@ def main(argv: list[str] | None = None) -> int:
         checks.append(("BENCH_profile.json", fresh_profile, PROFILE_METRICS))
     if args.only in (None, "serve"):
         checks.append(("BENCH_serve.json", fresh_serve, SERVE_METRICS))
+    if args.only in (None, "scenario"):
+        # Same writer and schema as the profile baseline; the committed
+        # file pins experiment="scenarios", which fresh_profile re-runs.
+        checks.append(("BENCH_scenario.json", fresh_profile, PROFILE_METRICS))
 
     worst = 0
     for filename, rerun, metrics in checks:

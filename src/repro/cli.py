@@ -3,12 +3,20 @@
 Commands
 --------
 ``list``
-    Show the available experiments and workloads.
+    Show the available experiments, workloads, and scenario patterns
+    (``--json`` for the machine-readable form).
 ``experiment NAME``
     Regenerate one of the paper's tables/figures and print it.
 ``simulate WORKLOAD``
     Run one workload through a cache (and optionally the MTC) and print
-    the traffic metrics.
+    the traffic metrics. WORKLOAD is a registry name, a scenario spec
+    file (``spec.json`` or ``@spec.json``), or inline
+    ``scenario:{...}`` JSON — see docs/scenarios.md.
+``scenario list|run|mix``
+    The scenario engine: ``list`` prints the pattern vocabulary and spec
+    defaults, ``run`` simulates one spec through a cache (the scenario
+    analogue of ``simulate``), and ``mix`` attributes a multi-tenant
+    mix's misses and traffic per tenant against solo baselines.
 ``decompose WORKLOAD``
     Run the three-simulation execution-time decomposition on one of the
     paper's machines A-F.
@@ -41,6 +49,8 @@ Commands
     Submit one request to a running server (``--server`` or
     ``$REPRO_SERVER``), wait for completion, and print the result —
     byte-identical to running the equivalent command locally.
+    ``submit simulate --scenario spec.json`` submits a scenario spec
+    instead of a named workload.
 ``spans PATH``
     Analyse a span log written by ``--trace-spans``: indented tree view
     with total/self times (default), ``--critical-path`` for the chain
@@ -108,6 +118,7 @@ EXPERIMENT_MODULES = {
         "table8",
         "table9",
         "epin",
+        "scenarios",
         "bench_cache",
         "bench_mtc",
         "bench_sampled",
@@ -297,7 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
-    sub.add_parser("list", help="list experiments and workloads")
+    list_parser = sub.add_parser(
+        "list", help="list experiments, workloads, and scenario patterns"
+    )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable listing (experiments + workloads + pattern "
+            "vocabulary), one JSON object"
+        ),
+    )
 
     experiment = sub.add_parser(
         "experiment",
@@ -343,6 +364,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--max-refs", type=positive_int, default=200_000)
     simulate.add_argument("--seed", type=int, default=0)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="parameterized traffic scenarios (see docs/scenarios.md)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_action", required=True)
+    scenario_list = scenario_sub.add_parser(
+        "list", help="pattern vocabulary, spec defaults, and an example"
+    )
+    scenario_list.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable pattern catalog and defaults",
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        parents=[obs_flags, engine_flags],
+        help="simulate one scenario spec through a cache",
+    )
+    scenario_run.add_argument(
+        "spec",
+        help="spec file (PATH or @PATH) or inline scenario:{...} JSON",
+    )
+    scenario_run.add_argument(
+        "--size", default="16KB", help="cache size (e.g. 64KB)"
+    )
+    scenario_run.add_argument("--block", type=int, default=32, help="block bytes")
+    scenario_run.add_argument("--assoc", type=int, default=1, help="ways")
+    scenario_run.add_argument(
+        "--mtc", action="store_true", help="also run the minimal-traffic cache"
+    )
+    scenario_run.add_argument("--max-refs", type=positive_int, default=200_000)
+    scenario_mix = scenario_sub.add_parser(
+        "mix",
+        parents=[obs_flags],
+        help="per-tenant miss/traffic attribution of one scenario mix",
+    )
+    scenario_mix.add_argument(
+        "spec",
+        help="spec file (PATH or @PATH) or inline scenario:{...} JSON",
+    )
+    scenario_mix.add_argument(
+        "--size", default="16KB", help="cache size (e.g. 64KB)"
+    )
+    scenario_mix.add_argument("--block", type=int, default=32, help="block bytes")
+    scenario_mix.add_argument("--assoc", type=int, default=1, help="ways")
+    scenario_mix.add_argument("--max-refs", type=positive_int, default=200_000)
 
     decompose = sub.add_parser(
         "decompose",
@@ -539,7 +607,21 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[server_flags],
         help="served equivalent of `repro simulate`",
     )
-    submit_simulate.add_argument("workload")
+    submit_simulate.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="named workload (or use --scenario for a spec file)",
+    )
+    submit_simulate.add_argument(
+        "--scenario",
+        metavar="PATH",
+        default=None,
+        help=(
+            "submit a scenario spec file instead of a named workload "
+            "(the spec carries its own seed; --seed is rejected with it)"
+        ),
+    )
     submit_simulate.add_argument(
         "--size", default="16KB", help="cache size (e.g. 64KB)"
     )
@@ -549,7 +631,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--mtc", action="store_true", help="also run the minimal-traffic cache"
     )
     submit_simulate.add_argument("--max-refs", type=positive_int, default=200_000)
-    submit_simulate.add_argument("--seed", type=int, default=0)
+    submit_simulate.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "trace seed for a named workload (default: 0; rejected with "
+            "--scenario, whose spec carries the seed)"
+        ),
+    )
 
     submit_sweep = submit_sub.add_parser(
         "sweep",
@@ -610,9 +700,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(out) -> None:
+def _cmd_list(args, out) -> None:
     from repro.workloads import all_workloads
 
+    if getattr(args, "json", False):
+        from repro.scenario import (
+            SCENARIO_DEFAULTS,
+            SCENARIO_SCHEMA,
+            pattern_catalog,
+        )
+
+        payload = {
+            "schema": "repro.list/v1",
+            "experiments": [
+                {
+                    "name": name,
+                    "summary": (
+                        importlib.import_module(EXPERIMENT_MODULES[name])
+                        .__doc__ or ""
+                    ).strip().splitlines()[0],
+                }
+                for name in sorted(EXPERIMENT_MODULES)
+            ],
+            "workloads": [
+                {
+                    "name": workload.name,
+                    "suite": workload.suite,
+                    "behaviour": workload.behaviour,
+                }
+                for workload in all_workloads()
+            ],
+            "patterns": pattern_catalog(),
+            "scenario_defaults": SCENARIO_DEFAULTS,
+            "scenario_schema": SCENARIO_SCHEMA,
+        }
+        json.dump(payload, out, sort_keys=True)
+        print(file=out)
+        return
     print("experiments:", file=out)
     for name in sorted(EXPERIMENT_MODULES):
         module = importlib.import_module(EXPERIMENT_MODULES[name])
@@ -624,6 +748,11 @@ def _cmd_list(out) -> None:
             f"  {workload.name:<10s} {workload.suite}  {workload.behaviour}",
             file=out,
         )
+    print("\nscenario patterns (see `repro scenario list`):", file=out)
+    from repro.scenario import PATTERN_KINDS
+
+    for kind, (_, description) in PATTERN_KINDS.items():
+        print(f"  {kind:<10s} {description}", file=out)
 
 
 def _retry_policy(args):
@@ -682,14 +811,42 @@ def _cmd_experiment(args, out) -> None:
     print(module.render(result), file=out)
 
 
+def _resolve_workload(text: str):
+    """A workload from a CLI argument: registry name, spec file, or
+    inline ``scenario:{...}`` JSON (see docs/scenarios.md)."""
+    from repro.scenario import resolve_workload
+
+    return resolve_workload(text)
+
+
+def _workload_seed(workload, cli_seed: int) -> int:
+    """The trace seed for one resolved workload.
+
+    A scenario's seed lives in its spec (it is part of the content
+    address), so the spec wins over the CLI flag; named workloads use
+    the flag unchanged.
+    """
+    spec = getattr(workload, "spec", None)
+    return spec.seed if spec is not None else cli_seed
+
+
 def _cmd_simulate(args, out) -> None:
+    workload = _resolve_workload(args.workload)
+    trace = workload.generate(
+        seed=_workload_seed(workload, args.seed), max_refs=args.max_refs
+    )
+    _print_simulation(trace, args, out)
+
+
+def _print_simulation(trace, args, out) -> None:
+    """The ``repro simulate`` report for one generated trace.
+
+    Shared by ``simulate`` and ``scenario run`` so the two commands can
+    never drift; args must carry ``size``/``block``/``assoc``/``mtc``.
+    """
     from repro.mem.cache import Cache, CacheConfig
     from repro.mem.mtc import MinimalTrafficCache, MTCConfig
-    from repro.workloads import get_workload
 
-    trace = get_workload(args.workload).generate(
-        seed=args.seed, max_refs=args.max_refs
-    )
     size = parse_size(args.size)
     config = CacheConfig(
         size_bytes=size, block_bytes=args.block, associativity=args.assoc
@@ -734,16 +891,164 @@ def _cmd_simulate(args, out) -> None:
             print(f"inefficiency G: {g:.2f}", file=out)
 
 
+def _require_spec(text: str):
+    """The ScenarioSpec for a ``repro scenario`` SPEC argument."""
+    from repro.scenario import resolve_spec_argument
+
+    spec = resolve_spec_argument(text if text.endswith(".json") or
+                                 text.startswith(("@", "scenario:"))
+                                 else "@" + text)
+    return spec
+
+
+def _print_scenario_header(spec, out) -> None:
+    print(f"scenario: {spec.display_name} ({spec.scenario_id()})", file=out)
+    print(
+        f"tenants:  {len(spec.tenants)}  quantum {spec.quantum}  "
+        f"seed {spec.seed}  refs {spec.refs:,}",
+        file=out,
+    )
+    for tenant, refs in zip(spec.tenants, spec.tenant_refs()):
+        print(
+            f"  {tenant.name:<10s} {tenant.pattern['kind']:<10s} "
+            f"weight {tenant.weight}  "
+            f"footprint {format_size(tenant.footprint_bytes)}  "
+            f"writes {tenant.write_fraction:.0%}  refs {refs:,}",
+            file=out,
+        )
+
+
+def _cmd_scenario(args, out) -> None:
+    if args.scenario_action == "list":
+        _cmd_scenario_list(args, out)
+    elif args.scenario_action == "run":
+        _cmd_scenario_run(args, out)
+    else:
+        _cmd_scenario_mix(args, out)
+
+
+def _cmd_scenario_list(args, out) -> None:
+    from repro.scenario import (
+        SCENARIO_DEFAULTS,
+        SCENARIO_SCHEMA,
+        pattern_catalog,
+    )
+
+    if args.json:
+        json.dump(
+            {
+                "schema": "repro.scenario-list/v1",
+                "scenario_schema": SCENARIO_SCHEMA,
+                "defaults": SCENARIO_DEFAULTS,
+                "patterns": pattern_catalog(),
+            },
+            out,
+            sort_keys=True,
+        )
+        print(file=out)
+        return
+    print("patterns:", file=out)
+    for entry in pattern_catalog():
+        print(f"  {entry['kind']:<10s} {entry['description']}", file=out)
+    print("\nspec defaults:", file=out)
+    for field, value in SCENARIO_DEFAULTS.items():
+        print(f"  {field:<15s} {value}", file=out)
+    print(
+        "\nexample spec (run with `repro scenario run spec.json`):",
+        file=out,
+    )
+    example = {
+        "name": "checkout-mix",
+        "footprint": "1MB",
+        "refs": 200_000,
+        "tenants": [
+            {"pattern": {"kind": "zipfian", "alpha": 1.1}, "weight": 2},
+            {"pattern": {"kind": "bursty"}},
+        ],
+    }
+    print(json.dumps(example, indent=2), file=out)
+
+
+def _cmd_scenario_run(args, out) -> None:
+    from repro.scenario import ScenarioWorkload
+
+    spec = _require_spec(args.spec)
+    workload = ScenarioWorkload(spec)
+    _print_scenario_header(spec, out)
+    trace = workload.generate(max_refs=args.max_refs)
+    _print_simulation(trace, args, out)
+
+
+def _cmd_scenario_mix(args, out) -> None:
+    from repro.mem.cache import CacheConfig
+    from repro.scenario import MixedTrace, attribute_traffic, mix
+    from repro.trace.model import MemTrace
+
+    spec = _require_spec(args.spec)
+    mixed = mix(spec)
+    if args.max_refs < len(mixed):
+        mixed = MixedTrace(
+            trace=MemTrace(
+                mixed.trace.addresses[: args.max_refs],
+                mixed.trace.is_write[: args.max_refs],
+                name=mixed.trace.name,
+            ),
+            tenant_ids=mixed.tenant_ids[: args.max_refs],
+            tenant_names=mixed.tenant_names,
+        )
+    config = CacheConfig(
+        size_bytes=parse_size(args.size),
+        block_bytes=args.block,
+        associativity=args.assoc,
+    )
+    report = attribute_traffic(mixed, config)
+    _print_scenario_header(spec, out)
+    print(f"cache:    {config.describe()}", file=out)
+    print(
+        f"\n{'tenant':<10s} {'refs':>9s} {'miss rate':>10s} "
+        f"{'traffic':>14s} {'share':>7s} {'expansion':>10s}",
+        file=out,
+    )
+    total = report.total_traffic_bytes or 1
+    for usage in report.tenants:
+        print(
+            f"{usage.name:<10s} {usage.refs:>9,} {usage.miss_rate:>10.4f} "
+            f"{usage.traffic_bytes:>12,} B "
+            f"{usage.traffic_bytes / total:>6.1%} "
+            f"{usage.traffic_expansion:>9.2f}x",
+            file=out,
+        )
+    print(
+        f"{'total':<10s} {len(mixed):>9,} "
+        f"{report.total_misses / (len(mixed) or 1):>10.4f} "
+        f"{report.total_traffic_bytes:>12,} B {'100.0%':>7s} "
+        f"{report.traffic_expansion:>9.2f}x",
+        file=out,
+    )
+    print(
+        f"\ninterference: sharing the cache moved "
+        f"{report.traffic_expansion:.2f}x the traffic of the tenants "
+        f"running alone",
+        file=out,
+    )
+
+
 def _cmd_decompose(args, out) -> None:
     from repro.cpu.configs import experiment
     from repro.cpu.machine import decompose_experiment
-    from repro.workloads import get_workload
 
-    workload = get_workload(args.workload)
-    suite = args.suite or workload.suite
+    workload = _resolve_workload(args.workload)
+    # A scenario belongs to no SPEC suite; decompose it on the paper's
+    # SPEC92 machines (the frame experiments/scenarios.py uses).
+    suite = args.suite or (
+        workload.suite if workload.suite in ("SPEC92", "SPEC95") else "SPEC92"
+    )
     config = experiment(args.machine, suite)
     result = decompose_experiment(
-        workload, config, seed=args.seed, max_refs=args.max_refs
+        workload,
+        config,
+        seed=_workload_seed(workload, args.seed),
+        max_refs=args.max_refs,
     )
     d = result.decomposition
     print(f"workload:   {workload.name} ({suite})", file=out)
@@ -922,15 +1227,29 @@ def _cmd_submit(args, out) -> None:
 
     server = args.server or os.environ.get("REPRO_SERVER") or DEFAULT_SERVER
     if args.request_kind == "simulate":
+        if (args.workload is None) == (args.scenario is None):
+            raise ConfigurationError(
+                "give exactly one of WORKLOAD or --scenario PATH"
+            )
         fields = {
-            "workload": args.workload,
             "size": args.size,
             "block": args.block,
             "assoc": args.assoc,
             "mtc": args.mtc,
             "max_refs": args.max_refs,
-            "seed": args.seed,
         }
+        if args.scenario is not None:
+            if args.seed is not None:
+                raise ConfigurationError(
+                    "--seed is rejected with --scenario: the spec carries "
+                    "its own seed"
+                )
+            spec = _require_spec(args.scenario)
+            fields["scenario"] = spec.canonical()
+        else:
+            fields["workload"] = args.workload
+            if args.seed is not None:
+                fields["seed"] = args.seed
     else:
         fields = {"experiment": args.name}
         if args.max_refs is not None:
@@ -981,10 +1300,10 @@ def _cmd_spans(args, out) -> None:
 
 def _cmd_stats(args, out) -> None:
     from repro.trace.stats import compute_stats
-    from repro.workloads import get_workload
 
-    trace = get_workload(args.workload).generate(
-        seed=args.seed, max_refs=args.max_refs
+    workload = _resolve_workload(args.workload)
+    trace = workload.generate(
+        seed=_workload_seed(workload, args.seed), max_refs=args.max_refs
     )
     stats = compute_stats(trace)
     print(f"workload:            {trace.name}", file=out)
@@ -1156,6 +1475,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # Piping into `head`/`grep -q` closes stdout early; exit with
+        # the conventional SIGPIPE status instead of a traceback. The
+        # devnull dup keeps the interpreter's shutdown flush quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -1176,11 +1501,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
 
 def _dispatch(args, out) -> int:
     if args.command == "list":
-        _cmd_list(out)
+        _cmd_list(args, out)
     elif args.command == "experiment":
         _cmd_experiment(args, out)
     elif args.command == "simulate":
         _cmd_simulate(args, out)
+    elif args.command == "scenario":
+        _cmd_scenario(args, out)
     elif args.command == "decompose":
         _cmd_decompose(args, out)
     elif args.command == "stats":

@@ -37,6 +37,15 @@ class WorkloadError(ReproError):
     """A synthetic workload was requested with unusable parameters."""
 
 
+class ScenarioError(WorkloadError):
+    """A scenario spec (:mod:`repro.scenario`) failed validation.
+
+    Subclasses :class:`WorkloadError` because a scenario *is* a workload
+    description: callers that already handle bad workload parameters
+    (the CLI, the serve protocol) handle bad scenario specs the same way.
+    """
+
+
 class TaskError(ReproError):
     """A task failed on every attempt the retry policy allowed.
 

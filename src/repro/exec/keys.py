@@ -135,10 +135,19 @@ def workload_key(workload) -> dict[str, object]:
     The generator class (module-qualified), the benchmark name, and the
     footprint scale pin the trace stream; the seed and reference budget
     belong to the *measurement* part of the key, supplied by the caller.
+
+    Workloads exposing ``key_material()`` (scenario workloads, whose
+    name is only a label) contribute that material too, so two scenarios
+    can never collide — and no scenario can collide with a named
+    benchmark, whose key has no ``extra`` entry and a different class.
     """
     cls = type(workload)
-    return {
+    material: dict[str, object] = {
         "class": f"{cls.__module__}.{cls.__qualname__}",
         "name": workload.name,
         "scale": workload.scale,
     }
+    describe = getattr(workload, "key_material", None)
+    if callable(describe):
+        material["extra"] = describe()
+    return material

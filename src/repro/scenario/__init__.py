@@ -1,0 +1,65 @@
+"""Scenario engine: parameterized patterns + multi-tenant trace mixing.
+
+The paper measures 14 fixed SPEC traces; this package opens the question
+its Section 6 could not ask — does the pin-bandwidth wall move under
+datacenter-style traffic? It provides:
+
+* :mod:`repro.scenario.patterns` — the :class:`TracePattern` protocol and
+  the composable pattern library (uniform / zipfian / hotspot / bursty /
+  sequential / phased),
+* :mod:`repro.scenario.spec` — declarative, validated
+  :class:`ScenarioSpec` dicts with a canonical content address,
+* :mod:`repro.scenario.mixer` — deterministic weighted N-tenant
+  interleaving with exact per-tenant traffic attribution,
+* :mod:`repro.scenario.workload` — :class:`ScenarioWorkload`, the
+  adapter that lets every existing consumer (CLI, experiments, serving)
+  run scenarios through the named-workload interface.
+
+See docs/scenarios.md for the spec schema and worked examples, and
+``repro scenario list|run|mix`` for the CLI surface.
+"""
+
+from repro.scenario.mixer import (
+    AttributionReport,
+    MixedTrace,
+    TenantUsage,
+    attribute_traffic,
+    mix,
+)
+from repro.scenario.patterns import (
+    PATTERN_KINDS,
+    TracePattern,
+    build_pattern,
+    canonical_pattern,
+    pattern_catalog,
+    pattern_names,
+)
+from repro.scenario.spec import (
+    SCENARIO_DEFAULTS,
+    SCENARIO_SCHEMA,
+    ScenarioSpec,
+    TenantSpec,
+    resolve_spec_argument,
+)
+from repro.scenario.workload import ScenarioWorkload, resolve_workload
+
+__all__ = [
+    "AttributionReport",
+    "MixedTrace",
+    "PATTERN_KINDS",
+    "SCENARIO_DEFAULTS",
+    "SCENARIO_SCHEMA",
+    "ScenarioSpec",
+    "ScenarioWorkload",
+    "TenantSpec",
+    "TenantUsage",
+    "TracePattern",
+    "attribute_traffic",
+    "build_pattern",
+    "canonical_pattern",
+    "mix",
+    "pattern_catalog",
+    "pattern_names",
+    "resolve_spec_argument",
+    "resolve_workload",
+]

@@ -5,8 +5,13 @@ existing CLI invocation:
 
 ``simulate`` (``POST /v1/simulate``)
     One cache (and optionally MTC) run over a named workload — the JSON
-    form of ``repro simulate``. Fields: ``workload`` (required),
-    ``size``, ``block``, ``assoc``, ``mtc``, ``max_refs``, ``seed``.
+    form of ``repro simulate``. Fields: ``workload`` (required unless
+    ``scenario`` is given), ``size``, ``block``, ``assoc``, ``mtc``,
+    ``max_refs``, ``seed``. Alternatively ``scenario`` carries an inline
+    scenario spec object (see docs/scenarios.md); the spec normalises to
+    its canonical form, so equivalent spellings coalesce, and the spec's
+    own seed is authoritative (an explicit ``seed`` field is rejected
+    alongside ``scenario``).
 
 ``sweep`` (``POST /v1/sweep``)
     One experiment grid (table7, table8, ...) — the JSON form of
@@ -32,8 +37,13 @@ errors.
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError, ProtocolError, WorkloadError
-from repro.exec.keys import code_epoch, stable_hash
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ScenarioError,
+    WorkloadError,
+)
+from repro.exec.keys import canonical_key, code_epoch, stable_hash
 from repro.util import parse_size
 
 __all__ = [
@@ -120,17 +130,36 @@ def normalize_simulate(body: object) -> dict:
     from repro.workloads.registry import get_workload
 
     body = _require_fields(
-        body, {"workload"} | set(SIMULATE_DEFAULTS), "simulate"
+        body, {"workload", "scenario"} | set(SIMULATE_DEFAULTS), "simulate"
     )
-    name = body.get("workload")
-    if not isinstance(name, str) or not name:
-        raise ProtocolError(
-            f"field 'workload' must be a non-empty string, got {name!r}"
-        )
-    try:
-        workload = get_workload(name)
-    except WorkloadError as exc:
-        raise ProtocolError(str(exc)) from exc
+    scenario = body.get("scenario")
+    spec = None
+    if scenario is not None:
+        if body.get("workload") is not None:
+            raise ProtocolError(
+                "give either 'workload' or 'scenario', not both"
+            )
+        if "seed" in body:
+            raise ProtocolError(
+                "field 'seed' is not allowed with 'scenario': the spec "
+                "carries its own seed (and the content address covers it)"
+            )
+        from repro.scenario import ScenarioSpec
+
+        try:
+            spec = ScenarioSpec.from_dict(scenario)
+        except ScenarioError as exc:
+            raise ProtocolError(f"field 'scenario': {exc}") from exc
+    else:
+        name = body.get("workload")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(
+                f"field 'workload' must be a non-empty string, got {name!r}"
+            )
+        try:
+            workload = get_workload(name)
+        except WorkloadError as exc:
+            raise ProtocolError(str(exc)) from exc
 
     merged = dict(SIMULATE_DEFAULTS, **body)
     try:
@@ -141,16 +170,24 @@ def normalize_simulate(body: object) -> dict:
         raise ProtocolError(
             f"field 'size' must be a positive byte count, got {merged['size']!r}"
         )
-    return {
+    request = {
         "kind": "simulate",
-        "workload": workload.name,  # registry spelling, not the caller's
         "size": size_bytes,
         "block": _positive_int(merged["block"], "block"),
         "assoc": _positive_int(merged["assoc"], "assoc"),
         "mtc": _bool(merged["mtc"], "mtc"),
         "max_refs": _positive_int(merged["max_refs"], "max_refs"),
-        "seed": _int(merged["seed"], "seed"),
     }
+    if spec is not None:
+        # The canonical spec is the durable identity: equivalent
+        # spellings produce the same normalised request, hence the same
+        # job id, exactly as named workloads do via registry spelling.
+        request["scenario"] = spec.canonical()
+        request["seed"] = spec.seed
+    else:
+        request["workload"] = workload.name  # registry spelling
+        request["seed"] = _int(merged["seed"], "seed")
+    return request
 
 
 def normalize_sweep(body: object) -> dict:
@@ -220,9 +257,15 @@ def request_argv(request: dict) -> list[str]:
     from the same invocation typed at a shell.
     """
     if request["kind"] == "simulate":
+        workload_arg = request.get("workload")
+        if workload_arg is None:
+            # Scenarios replay through the CLI's inline spelling; the
+            # canonical JSON round-trips to the identical canonical
+            # spec, so the served run and the shell run cannot differ.
+            workload_arg = "scenario:" + canonical_key(request["scenario"])
         argv = [
             "simulate",
-            request["workload"],
+            workload_arg,
             "--size", str(request["size"]),
             "--block", str(request["block"]),
             "--assoc", str(request["assoc"]),

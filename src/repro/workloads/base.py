@@ -18,6 +18,7 @@ full footprint (slow, but supported).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -56,8 +57,11 @@ class SyntheticWorkload(ABC):
     behaviour: str = ""
 
     def __init__(self, scale: float = DEFAULT_SCALE) -> None:
-        if scale <= 0:
-            raise WorkloadError(f"scale must be positive, got {scale}")
+        # isfinite also rejects NaN, which passes every comparison check.
+        if not isinstance(scale, (int, float)) or isinstance(scale, bool):
+            raise WorkloadError(f"scale must be a number, got {scale!r}")
+        if not math.isfinite(scale) or scale <= 0:
+            raise WorkloadError(f"scale must be positive and finite, got {scale}")
         self.scale = scale
 
     # -- to be provided by each benchmark model ------------------------------------
@@ -68,6 +72,17 @@ class SyntheticWorkload(ABC):
 
     # -- public API -----------------------------------------------------------------
 
+    def stream(self, rng: np.random.Generator) -> StreamPair:
+        """The :class:`repro.scenario.patterns.TracePattern` interface.
+
+        Benchmarks and scenario patterns share this one streaming
+        surface: anything holding a workload can draw its raw
+        ``(addresses, is_write)`` stream from a generator it controls.
+        Deterministic for a given ``(scale, rng state)`` — and exactly
+        what :meth:`generate` consumes, so the two can never diverge.
+        """
+        return self._build(rng)
+
     def generate(self, *, seed: int = 0, max_refs: int | None = None) -> MemTrace:
         """Generate this benchmark's memory trace.
 
@@ -76,7 +91,7 @@ class SyntheticWorkload(ABC):
         (useful to bound simulation time in tests).
         """
         rng = np.random.default_rng(seed)
-        addresses, writes = self._build(rng)
+        addresses, writes = self.stream(rng)
         if addresses.size == 0:
             raise WorkloadError(f"workload {self.name} generated an empty trace")
         if max_refs is not None:

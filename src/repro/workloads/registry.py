@@ -51,8 +51,20 @@ def get_workload(name: str, scale: float = DEFAULT_SCALE) -> SyntheticWorkload:
     """Instantiate the named workload at the given scale."""
     cls = _BY_NAME.get(name.lower())
     if cls is None:
+        import difflib
+
+        close = difflib.get_close_matches(name.lower(), _BY_NAME, n=3)
+        suggestion = (
+            "did you mean "
+            + " or ".join(_BY_NAME[match].name for match in close)
+            + "? "
+            if close
+            else ""
+        )
         known = ", ".join(sorted(_BY_NAME))
-        raise WorkloadError(f"unknown workload {name!r}; known: {known}")
+        raise WorkloadError(
+            f"unknown workload {name!r}; {suggestion}known: {known}"
+        )
     return cls(scale=scale)
 
 

@@ -29,7 +29,7 @@ class TestParser:
             "figure1", "figure2", "figure3", "figure4", "figure5",
             "table2", "table3", "table6", "table7", "table8", "table9",
             "epin", "bench_cache", "bench_mtc", "bench_sampled",
-            "bench_sweep",
+            "bench_sweep", "scenarios",
         }
 
     def test_positive_int_accepts_positive(self):
@@ -524,3 +524,110 @@ class TestServeParser:
             build_parser().parse_args(
                 ["submit", "sweep", "table7", "--timeout", "0"]
             )
+
+
+class TestScenarioCommands:
+    SPEC = {
+        "name": "clitest",
+        "refs": 4000,
+        "seed": 2,
+        "tenants": [
+            {"name": "a", "pattern": {"kind": "zipfian"},
+             "footprint": "64KB"},
+            {"name": "b", "pattern": {"kind": "sequential"},
+             "footprint": "64KB"},
+        ],
+    }
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_scenario_list(self):
+        text = run_cli("scenario", "list")
+        assert "zipfian" in text and "bursty" in text
+        assert "spec defaults" in text
+
+    def test_scenario_list_json(self):
+        payload = json.loads(run_cli("scenario", "list", "--json"))
+        assert payload["schema"] == "repro.scenario-list/v1"
+        assert [p["kind"] for p in payload["patterns"]] == [
+            "uniform", "zipfian", "hotspot", "bursty", "sequential",
+            "phased",
+        ]
+
+    def test_list_json_covers_everything(self):
+        payload = json.loads(run_cli("list", "--json"))
+        assert payload["schema"] == "repro.list/v1"
+        assert {w["name"] for w in payload["workloads"]} >= {
+            "Compress", "Vortex",
+        }
+        assert {e["name"] for e in payload["experiments"]} >= {
+            "table7", "scenarios",
+        }
+        assert any(p["kind"] == "zipfian" for p in payload["patterns"])
+
+    def test_scenario_run(self, spec_path):
+        text = run_cli("scenario", "run", spec_path, "--size", "16KB")
+        assert "scenario: clitest" in text
+        assert "miss rate" in text and "traffic ratio" in text
+
+    def test_scenario_mix_reports_per_tenant_attribution(self, spec_path):
+        text = run_cli("scenario", "mix", spec_path)
+        assert "tenant" in text
+        assert " a " in text and " b " in text
+        assert "interference:" in text
+
+    def test_simulate_accepts_spec_file_and_inline_equivalently(
+        self, spec_path
+    ):
+        from repro.scenario import ScenarioSpec
+
+        by_file = run_cli("simulate", f"@{spec_path}", "--size", "16KB")
+        inline = ScenarioSpec.from_dict(self.SPEC).to_argument()
+        by_inline = run_cli("simulate", inline, "--size", "16KB")
+        assert by_file == by_inline
+        assert "clitest" in by_file
+
+    def test_scenario_seed_comes_from_the_spec(self, spec_path):
+        # --seed exists on `simulate` for named workloads; a scenario's
+        # spec seed wins so the content address stays authoritative.
+        a = run_cli("simulate", f"@{spec_path}", "--seed", "9")
+        b = run_cli("simulate", f"@{spec_path}")
+        assert a == b
+
+    def test_invalid_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"pattern": {"kind": "bogus"}}')
+        code = main(["simulate", str(bad)], out=io.StringIO())
+        assert code != 0
+
+    def test_submit_simulate_scenario_flag(self, spec_path):
+        args = build_parser().parse_args(
+            ["submit", "simulate", "--scenario", spec_path]
+        )
+        assert args.workload is None
+        assert args.scenario == spec_path
+        assert args.seed is None
+
+    def test_submit_simulate_workload_xor_scenario(self, spec_path):
+        for argv in (
+            ["submit", "simulate"],
+            ["submit", "simulate", "Espresso", "--scenario", spec_path],
+        ):
+            code = main(argv, out=io.StringIO())
+            assert code != 0
+
+    def test_decompose_accepts_scenario_on_spec92_machines(self, spec_path):
+        text = run_cli(
+            "decompose", f"@{spec_path}", "--experiment", "F",
+            "--max-refs", "2000",
+        )
+        assert "clitest (SPEC92)" in text
+        assert "f_B=" in text
+
+    def test_stats_accepts_scenario(self, spec_path):
+        text = run_cli("stats", f"@{spec_path}", "--max-refs", "2000")
+        assert "clitest" in text

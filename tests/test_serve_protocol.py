@@ -196,3 +196,68 @@ class TestCacheStatsJson:
         assert stats["entries"] == 1
         assert stats["total_bytes"] > 0
         assert stats["quarantined"] == 0
+
+
+class TestNormalizeScenario:
+    SPEC = {
+        "name": "mixy",
+        "refs": 5000,
+        "seed": 4,
+        "tenants": [
+            {"pattern": {"kind": "zipfian"}, "footprint": "64KB"},
+            {"pattern": {"kind": "uniform"}, "footprint": "64KB"},
+        ],
+    }
+
+    def test_scenario_normalises_to_canonical_spec(self):
+        request = normalize_simulate({"scenario": dict(self.SPEC)})
+        assert request["kind"] == "simulate"
+        assert "workload" not in request
+        assert request["seed"] == 4  # the spec's seed, not the default
+        from repro.scenario import ScenarioSpec
+
+        assert request["scenario"] == ScenarioSpec.from_dict(
+            self.SPEC
+        ).canonical()
+
+    def test_equivalent_spellings_coalesce(self):
+        from repro.scenario import ScenarioSpec
+
+        a = normalize_simulate({"scenario": dict(self.SPEC)})
+        b = normalize_simulate(
+            {"scenario": ScenarioSpec.from_dict(self.SPEC).canonical()}
+        )
+        assert job_id(job_material(a)) == job_id(job_material(b))
+
+    def test_distinct_from_named_workload_jobs(self):
+        named = normalize_simulate({"workload": "Espresso"})
+        scenario = normalize_simulate({"scenario": dict(self.SPEC)})
+        assert job_id(job_material(named)) != job_id(job_material(scenario))
+
+    def test_explicit_seed_rejected(self):
+        with pytest.raises(ProtocolError, match="carries its own seed"):
+            normalize_simulate({"scenario": dict(self.SPEC), "seed": 4})
+
+    def test_workload_and_scenario_rejected(self):
+        with pytest.raises(ProtocolError, match="not both"):
+            normalize_simulate(
+                {"scenario": dict(self.SPEC), "workload": "Espresso"}
+            )
+
+    def test_invalid_spec_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="scenario"):
+            normalize_simulate({"scenario": {"pattern": {"kind": "bogus"}}})
+
+    def test_argv_round_trips_through_the_cli_parser(self):
+        from repro.cli import build_parser
+        from repro.scenario import ScenarioSpec, resolve_spec_argument
+
+        request = normalize_simulate(
+            {"scenario": dict(self.SPEC), "size": "64KB"}
+        )
+        argv = request_argv(request)
+        args = build_parser().parse_args(argv)
+        assert args.command == "simulate"
+        spec = resolve_spec_argument(args.workload)
+        assert spec == ScenarioSpec.from_dict(self.SPEC)
+        assert args.size == str(request["size"])

@@ -207,3 +207,68 @@ class TestCombinators:
         trace = synth.to_trace(synth.sweep(0, 4), name="x")
         assert isinstance(trace, MemTrace)
         assert trace.name == "x"
+
+
+class TestDeterminism:
+    """Every rng-driven builder is a pure function of the generator state
+    — the property the scenario engine's content addressing rests on."""
+
+    BUILDERS = {
+        "random_probes": lambda rng: synth.random_probes(
+            rng, 0, 1000, 500, write_fraction=0.3,
+            hot_fraction=0.5, hot_words=16,
+        ),
+        "zipf_probes": lambda rng: synth.zipf_probes(
+            rng, 0, 1000, 500, alpha=1.2, write_fraction=0.3
+        ),
+        "pointer_chain": lambda rng: synth.pointer_chain(
+            rng, 0, 64, 4, 500, locality=0.5
+        ),
+        "interleave_streams": lambda rng: synth.interleave_streams(
+            rng, [synth.sweep(0, 64), synth.sweep(4096, 64)], chunk=8
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_same_seed_same_stream(self, name):
+        build = self.BUILDERS[name]
+        a = build(np.random.default_rng(11))
+        b = build(np.random.default_rng(11))
+        c = build(np.random.default_rng(12))
+        assert a[0].tolist() == b[0].tolist()
+        assert a[1].tolist() == b[1].tolist()
+        if name != "interleave_streams":  # its schedule is seed-free
+            assert a[0].tolist() != c[0].tolist()
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_stream_pair_shape_contract(self, name):
+        addresses, writes = self.BUILDERS[name](np.random.default_rng(3))
+        assert addresses.dtype == np.int64
+        assert writes.dtype == bool
+        assert addresses.shape == writes.shape
+
+
+class TestSizeOneEdgeCases:
+    def test_single_word_sweep_write_every_one(self):
+        addresses, writes = synth.sweep(0, 1, write_every=1)
+        assert addresses.tolist() == [0]
+        assert writes.tolist() == [True]
+
+    def test_single_word_sweep_repeats_count_toward_write_every(self):
+        addresses, writes = synth.sweep(0, 1, repeats=3, write_every=2)
+        assert addresses.tolist() == [0, 0, 0]
+        # write_every counts references, not distinct words: the cadence
+        # keeps ticking through consecutive repeats.
+        assert writes.tolist() == [False, True, False]
+
+    def test_single_word_passes(self):
+        addresses, writes = synth.sweep(0, 1, passes=2)
+        assert addresses.tolist() == [0, 0]
+        assert not writes.any()
+
+    def test_single_probe(self):
+        addresses, writes = synth.random_probes(
+            np.random.default_rng(0), 0, 1, 1, write_fraction=1.0
+        )
+        assert addresses.tolist() == [0]
+        assert writes.tolist() == [True]

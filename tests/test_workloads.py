@@ -148,3 +148,41 @@ class TestBaseClassContract:
 
         with pytest.raises(WorkloadError):
             Empty(scale=DEFAULT_SCALE).generate()
+
+
+class TestLookupSuggestions:
+    def test_close_miss_suggests_the_intended_name(self):
+        with pytest.raises(WorkloadError, match="did you mean Compress"):
+            get_workload("compres")
+
+    def test_suggestion_offers_alternatives(self):
+        # "su2cor9" is near both Su2cor and Su2cor95.
+        with pytest.raises(WorkloadError, match="did you mean Su2cor"):
+            get_workload("su2cor9")
+
+    def test_distant_miss_just_lists_known(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+        assert "known:" in str(excinfo.value)
+
+
+class TestScaleValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 0.0, -0.5])
+    def test_non_positive_scale_rejected(self, bad):
+        with pytest.raises(WorkloadError, match="positive"):
+            get_workload("Compress", scale=bad)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_scale_rejected(self, bad):
+        # NaN passes every comparison check; isfinite is the regression
+        # guard (a NaN scale used to slip through and poison footprints).
+        with pytest.raises(WorkloadError, match="finite"):
+            get_workload("Compress", scale=bad)
+
+    @pytest.mark.parametrize("bad", ["0.25", None, True])
+    def test_non_number_scale_rejected(self, bad):
+        with pytest.raises(WorkloadError, match="number"):
+            get_workload("Compress", scale=bad)
